@@ -1,0 +1,19 @@
+"""Shared pytest-benchmark configuration.
+
+Every experiment is deterministic and internally cached, but the first
+invocation pays real interpreted-simulation cost — so benchmarks run
+with a single round unless asked otherwise.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a harness function exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

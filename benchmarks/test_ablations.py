@@ -1,0 +1,56 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.harness import ablations
+
+
+def test_granularity_unlocks_streaming(once):
+    result = once(ablations.granularity)
+    rows = {row["bench"]: row for row in result.rows}
+    # The streaming benchmarks block mid-tick: impossible under
+    # between-tick-only interrupts, so hardware execution (vs the
+    # software fallback) is the win sub-clock-tick yields buy.
+    for bench in ("regex", "nw", "adpcm"):
+        assert rows[bench]["mid-tick traps/tick"] > 0
+        assert rows[bench]["hw virt Hz"] > 5 * rows[bench]["sw virt Hz"]
+    for bench in ("bitcoin", "mips32", "df"):
+        assert rows[bench]["mid-tick traps/tick"] == 0
+
+
+def test_compilation_cache_saves_hours(once):
+    result = once(ablations.compilation_cache)
+    for row in result.rows:
+        assert row["cache hit"] is True
+        assert row["cold (s)"] > 1000      # a Vivado-scale build
+        assert row["warm (s)"] < 10        # just reconfiguration
+        assert row["saved (s)"] > 1000
+
+
+def test_capture_tree_fanout_tradeoff(once):
+    result = once(ablations.capture_tree)
+    rows = sorted(result.rows, key=lambda r: r["fanout"])
+    ffs = [row["FFs"] for row in rows]
+    # More fanout = fewer pipeline buffer FFs, monotonically.
+    assert ffs == sorted(ffs, reverse=True)
+    assert ffs[0] > ffs[-1]
+
+
+def test_clock_domains_fix_the_fig12_regression(once):
+    result = once(ablations.clock_domains)
+    rows = {row["configuration"]: row for row in result.rows}
+    global_row = rows["global clock"]
+    cdc_row = rows["clock domains"]
+    # Global clock: adpcm's arrival slows bitcoin down.
+    assert (global_row["bitcoin clock after adpcm (MHz)"]
+            < global_row["bitcoin clock before (MHz)"])
+    # Clock domains: bitcoin unaffected, at a LUT premium.
+    assert (cdc_row["bitcoin clock after adpcm (MHz)"]
+            == cdc_row["bitcoin clock before (MHz)"])
+    assert cdc_row["combined LUTs"] > global_row["combined LUTs"]
+
+
+def test_speculation_eliminates_departure_misses(once):
+    result = once(ablations.speculative_compilation)
+    rows = {row["configuration"]: row for row in result.rows}
+    assert rows["reactive"]["departure cache misses"] >= 1
+    assert rows["speculative"]["departure cache misses"] == 0
+    assert rows["speculative"]["compile seconds avoided"] > 0

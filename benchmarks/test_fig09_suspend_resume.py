@@ -1,0 +1,42 @@
+"""Figure 9 — suspend/resume shape assertions.
+
+Paper shape: DE10 peak ~16M hashes/s, F1 peak ~83M (the 5x clock
+ratio), throughput collapses to the software rate during the save
+window, and the F1 restore dip is wider than the DE10 save dip because
+reconfiguration there is slower.
+"""
+
+from repro.harness import fig09_suspend_resume as fig09
+
+
+def _rows(result):
+    return {row["phase"]: row["hashes/s"] for row in result.rows}
+
+
+def test_fig09_shape(once):
+    result = once(fig09.run)
+    rows = _rows(result)
+
+    de10, f1 = rows["de10 hardware"], rows["f1 hardware"]
+    # F1 wins by roughly the 5x clock ratio.
+    assert 3.0 <= f1 / de10 <= 8.0
+    # Peaks land in the paper's decade: 16M and 83M.
+    assert 8e6 <= de10 <= 33e6
+    assert 40e6 <= f1 <= 170e6
+    # Software execution is orders of magnitude slower.
+    assert rows["software"] < de10 / 1000
+    # Restore (reconfig included) outlasts save.
+    assert rows["restore window (s)"] > rows["save window (s)"]
+
+
+def test_fig09_series_dips(once):
+    result = once(fig09.run)
+    de10 = result.series[0]
+    # Mid-save throughput equals the software rate: a visible dip.
+    save_t = fig09.T_SAVE + 0.1
+    peak = de10.value_at(10.0)
+    dip = de10.value_at(save_t)
+    assert dip is not None and peak is not None
+    assert dip < peak / 100
+    # Recovered before termination.
+    assert de10.value_at(fig09.T_TERMINATE - 1.0) == peak

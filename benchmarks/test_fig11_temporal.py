@@ -1,0 +1,48 @@
+"""Figure 11 — temporal multiplexing shape assertions.
+
+Paper shape: regex peaks ~500K reads/s alone; during contention with nw
+it drops to *slightly less than 50%* (round-robin + nw's longer string
+reads); after nw finishes, adaptive refinement takes several seconds to
+return regex to peak.
+"""
+
+from repro.harness import fig11_temporal as fig11
+
+
+def _metric(result, name):
+    for row in result.rows:
+        if row["metric"] == name:
+            return row["value"]
+    raise KeyError(name)
+
+
+def test_fig11_contention(once):
+    result = once(fig11.run)
+    solo = _metric(result, "regex solo reads/s")
+    fraction = _metric(result, "regex contended fraction")
+    assert 2e5 <= solo <= 1.5e6              # paper: 500K
+    assert 0.20 <= fraction < 0.50           # slightly less than half
+    # nw's primitive reads cost more than regex's.
+    assert (_metric(result, "nw op period (us)")
+            > _metric(result, "regex op period (us)"))
+
+
+def test_fig11_recovery_tail(once):
+    result = once(fig11.run)
+    ramp = _metric(result, "refinement recovery (s)")
+    assert 2.0 <= ramp <= 15.0               # "several seconds"
+    regex = result.series[0]
+    solo = _metric(result, "regex solo reads/s")
+    contended = _metric(result, "regex contended reads/s")
+    # During contention the series sits at the contended rate...
+    mid = regex.value_at((fig11.T_NW_HW + fig11.T_NW_DONE) / 2)
+    assert abs(mid - contended) / contended < 1e-6
+    # ...and climbs geometrically afterwards rather than jumping.
+    half_ramp = regex.value_at(fig11.T_NW_DONE + ramp / 2)
+    assert contended < half_ramp < solo
+
+
+def test_fig11_nw_finishes_before_regex_recovers(once):
+    result = once(fig11.run)
+    nw = result.series[1]
+    assert nw.t_end == fig11.T_NW_DONE

@@ -1,0 +1,43 @@
+"""Figure 12 — spatial multiplexing shape assertions.
+
+Paper shape: df and bitcoin co-run at the full global clock with
+virtual frequency = clock / 3; when adpcm arrives, the combined design
+misses timing and the hypervisor halves the global clock — halving
+every co-resident's virtual frequency.  (Our absolute clocks sit one
+step below the paper's; the 2x collapse is the figure's point.)
+"""
+
+import functools
+
+from repro.harness import fig12_spatial as fig12
+
+
+@functools.lru_cache(maxsize=1)
+def _result():
+    return fig12.run()
+
+
+def test_clock_halves_when_adpcm_arrives(once):
+    result = once(_result)
+    two, three = result.rows
+    ratio = two["global clock MHz"] / three["global clock MHz"]
+    assert abs(ratio - 2.0) < 1e-6
+
+
+def test_virtual_frequency_is_clock_over_three(once):
+    result = once(_result)
+    for row in result.rows:
+        assert abs(row["bitcoin virt MHz"] - row["global clock MHz"] / 3) < 0.5
+
+
+def test_co_residents_all_slow_down(once):
+    result = once(_result)
+    two, three = result.rows
+    assert three["df virt MHz"] < two["df virt MHz"]
+    assert three["bitcoin virt MHz"] < two["bitcoin virt MHz"]
+
+
+def test_state_preserved_across_handshakes(once):
+    result = once(_result)
+    note = [n for n in result.notes if "handshakes" in n][0]
+    assert int(note.split(":")[1].strip()) >= 3

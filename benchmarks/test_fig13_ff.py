@@ -1,0 +1,45 @@
+"""Figure 13 — FF usage normalized to AmorphOS.
+
+Paper shape: Synergy's FF usage is generally 2-4x native; adpcm and
+mips32 blow past the chart because their on-chip RAMs are built from
+FFs under the state-access transforms; against an AmorphOS-with-FF-RAMs
+baseline (the starred rows) they are reasonable again; and quiescence
+annotations claw a large share back.
+"""
+
+from repro.harness import grid
+
+
+def _rows(result):
+    return {row["bench"]: row for row in result.rows}
+
+
+def test_fig13_ff_ratios(once):
+    rows = _rows(once(grid.fig13_ff))
+    # RAM-light benchmarks land in (or near) the paper's 1-4x band.
+    for bench in ("df", "nw", "regex"):
+        assert 1.0 <= rows[bench]["synergy"] <= 5.0, bench
+    # The RAM-heavy outliers exceed the band dramatically.
+    assert rows["adpcm"]["synergy"] > 5.0
+    assert rows["mips32"]["synergy"] > 10.0
+    # ...but are reasonable against the FF-RAM baseline (starred rows).
+    assert rows["adpcm*"]["synergy"] < 2.0
+    assert rows["mips32*"]["synergy"] < 2.0
+
+
+def test_fig13_quiescence_savings(once):
+    rows = _rows(once(grid.fig13_ff))
+    # Quiescence skips capture logic for volatile state: never worse,
+    # and dramatically better for the highly-volatile benchmarks.
+    for bench in ("bitcoin", "df", "mips32"):
+        assert rows[bench]["synergy-q"] <= rows[bench]["synergy"]
+    assert rows["bitcoin"]["synergy-q"] < rows["bitcoin"]["synergy"] / 2
+    assert rows["mips32"]["synergy-q"] < rows["mips32"]["synergy"] / 2
+
+
+def test_fig13_synergy_tracks_cascade(once):
+    rows = _rows(once(grid.fig13_ff))
+    # "Synergy's overheads are similar to Cascade's" (§6.4).
+    for bench in ("adpcm", "bitcoin", "df", "mips32", "nw", "regex"):
+        assert rows[bench]["synergy"] >= rows[bench]["cascade"] * 0.9
+        assert rows[bench]["synergy"] <= rows[bench]["cascade"] * 2.0

@@ -1,0 +1,32 @@
+"""Figure 14 — LUT usage normalized to AmorphOS.
+
+Paper shape: generally 1-6x native, with the RAM-as-FF muxing pushing
+adpcm/mips32 up and the starred (AOS-FF-normalized) rows back down.
+"""
+
+from repro.harness import grid
+
+
+def _rows(result):
+    return {row["bench"]: row for row in result.rows}
+
+
+def test_fig14_lut_ratios(once):
+    rows = _rows(once(grid.fig14_lut))
+    for bench in ("bitcoin", "df", "nw", "regex", "adpcm"):
+        assert 0.9 <= rows[bench]["synergy"] <= 6.5, bench
+    # mips32's muxing logic is the big LUT outlier.
+    assert rows["mips32"]["synergy"] > 4.0
+    assert rows["mips32*"]["synergy"] < 2.5
+
+
+def test_fig14_quiescence_never_worse_for_volatile(once):
+    rows = _rows(once(grid.fig14_lut))
+    for bench in ("bitcoin", "df", "mips32"):
+        assert rows[bench]["synergy-q"] <= rows[bench]["synergy"] * 1.05
+
+
+def test_fig14_bitcoin_datapath_dominates(once):
+    rows = _rows(once(grid.fig14_lut))
+    # bitcoin's unrolled SHA dwarfs the added control: ratio near 1.
+    assert rows["bitcoin"]["synergy"] < 1.5

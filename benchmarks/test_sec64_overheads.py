@@ -1,0 +1,45 @@
+"""§6.4 — execution overheads and the anti-congestion ablation.
+
+Paper shape: a minimum 3x per-tick overhead (virtual clock toggle,
+evaluate, latch in separate hardware cycles), overall execution within
+3-4x of native for the batch benchmarks, and anti-congestion P&R
+recovering a large fraction of adpcm's frequency loss.
+"""
+
+from repro.harness import sec64_overheads
+
+
+def _rows(result):
+    return {row["bench"]: row for row in result.rows}
+
+
+def test_sec64_three_cycle_floor(once):
+    rows = _rows(once(sec64_overheads.run))
+    for bench in ("adpcm", "bitcoin", "df", "mips32", "nw", "regex"):
+        assert rows[bench]["cycles/tick"] >= 3.0
+    # The trap-free batch benchmarks sit exactly on the floor.
+    assert rows["bitcoin"]["cycles/tick"] == 3.0
+    assert rows["mips32"]["cycles/tick"] == 3.0
+
+
+def test_sec64_overall_overhead_3_to_4x(once):
+    rows = _rows(once(sec64_overheads.run))
+    # Batch-style apps: native/virtual within the paper's 3-4x window
+    # (frequency steps can widen it slightly for clock-limited designs).
+    assert 3.0 <= rows["bitcoin"]["native/virt"] <= 4.5
+    assert 3.0 <= rows["df"]["native/virt"] <= 4.5
+
+
+def test_sec64_anti_congestion_helps_adpcm(once):
+    rows = _rows(once(sec64_overheads.run))
+    note = rows["adpcm anti-congestion"]["native/virt"]
+    gain = int(note.split("%")[0].lstrip("+"))
+    assert gain >= 25   # paper: 47%
+
+
+def test_sec64_streaming_benchmarks_trap(once):
+    rows = _rows(once(sec64_overheads.run))
+    for bench in ("regex", "nw", "adpcm"):
+        assert rows[bench]["traps/tick"] >= 1.0
+    for bench in ("bitcoin", "mips32", "df"):
+        assert rows[bench]["traps/tick"] == 0.0

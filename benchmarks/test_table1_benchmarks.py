@@ -1,0 +1,15 @@
+"""Table 1 — all six workloads compile through the full pipeline."""
+
+from repro.bench import BENCHMARKS
+from repro.harness import table1
+
+
+def test_table1(once):
+    result = once(table1.run)
+    names = {row["name"].rstrip(" *") for row in result.rows}
+    assert names == set(BENCHMARKS)
+    streaming = {r["name"] for r in result.rows if r["name"].endswith("*")}
+    assert streaming == {"nw *", "regex *"}
+    for row in result.rows:
+        assert row["states"] >= 3          # entry + update + final at least
+        assert row["state bits"] > 0

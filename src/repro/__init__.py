@@ -1,0 +1,26 @@
+"""Synergy: compiler-driven FPGA virtualization (ASPLOS 2021) — a
+complete Python reproduction.
+
+Public entry points:
+
+* :func:`repro.core.compile_program` — the §3 compiler pipeline;
+* :class:`repro.runtime.Runtime` — one virtualized application;
+* :class:`repro.hypervisor.Hypervisor` — multi-tenant sharing (§4);
+* :class:`repro.debug.Debugger` — sub-clock-tick step debugging;
+* :mod:`repro.harness` — regenerates every table/figure of §6.
+"""
+
+from .core.pipeline import CompiledProgram, compile_program
+from .runtime.runtime import Context, Runtime
+from .runtime.backends import DirectBoardBackend
+from .hypervisor.hypervisor import Hypervisor
+from .fabric.device import DE10, F1
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram", "compile_program",
+    "Context", "Runtime", "DirectBoardBackend",
+    "Hypervisor", "DE10", "F1",
+    "__version__",
+]

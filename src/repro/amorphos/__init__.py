@@ -1,0 +1,13 @@
+"""AmorphOS substrate: hull, Morphlets, CntrlReg, zones, quiescence."""
+
+from .cntrlreg import CntrlRegPort, CntrlRegStats, RegisterMap, WORD_BITS
+from .morphlet import Morphlet, MorphletState, ProtectionDomain
+from .zones import ZoneAllocator, ZonePlacement
+from .hull import Hull, ProtectionError
+
+__all__ = [
+    "CntrlRegPort", "CntrlRegStats", "RegisterMap", "WORD_BITS",
+    "Morphlet", "MorphletState", "ProtectionDomain",
+    "ZoneAllocator", "ZonePlacement",
+    "Hull", "ProtectionError",
+]

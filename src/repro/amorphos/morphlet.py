@@ -1,0 +1,66 @@
+"""Morphlets: AmorphOS's process abstraction for FPGA execution (§2.2).
+
+A Morphlet extends a process with FPGA-resident logic.  It belongs to a
+protection domain; the hull mediates every interaction so Morphlets from
+mutually distrustful processes can share a reconfigurable zone without
+compromising security.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.pipeline import CompiledProgram
+from .cntrlreg import CntrlRegPort, RegisterMap
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class ProtectionDomain:
+    """An isolation principal (one per mutually-distrustful tenant)."""
+
+    name: str
+    uid: int = field(default_factory=lambda: next(_ids))
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.uid))
+
+
+class MorphletState:
+    LOADED = "loaded"
+    RUNNING = "running"
+    QUIESCING = "quiescing"
+    QUIESCED = "quiesced"
+    EVICTED = "evicted"
+
+
+@dataclass
+class Morphlet:
+    """One FPGA-resident sub-program under hull protection."""
+
+    morphlet_id: int
+    domain: ProtectionDomain
+    program: CompiledProgram
+    port: CntrlRegPort
+    state: str = MorphletState.LOADED
+    zone: Optional[int] = None
+
+    @classmethod
+    def create(cls, domain: ProtectionDomain, program: CompiledProgram) -> "Morphlet":
+        variables = [
+            (v.name, v.bits) for v in program.state.variables
+        ]
+        reg_map = RegisterMap.build(variables)
+        return cls(next(_ids), domain, program, CntrlRegPort(reg_map))
+
+    @property
+    def implements_quiescence(self) -> bool:
+        """Does the application participate in the $yield protocol (§5.3)?"""
+        return self.program.state.uses_yield
+
+    def captured_names(self):
+        """Variables a state-safe compilation must save for this Morphlet."""
+        return self.program.state.captured_names()

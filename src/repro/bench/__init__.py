@@ -1,0 +1,51 @@
+"""The paper's benchmark suite (Table 1).
+
+Six workloads, a mix of batch- and streaming-style computation:
+
+========  =========================================  =========
+name      description                                style
+========  =========================================  =========
+adpcm     pulse-code modulation encoder/decoder      batch
+bitcoin   Bitcoin mining accelerator                 batch
+df        double-precision arithmetic circuits       batch
+mips32    bubble-sort on a 32-bit MIPS processor     batch
+nw        DNA sequence alignment                     streaming
+regex     streaming regular expression matcher       streaming
+========  =========================================  =========
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from . import adpcm, bitcoin, datagen, df, mips32, nw, regex, regexc
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """Registry entry for one Table 1 workload."""
+
+    name: str
+    description: str
+    streaming: bool
+    source: Callable[..., str]     # source(quiescence=False, ...) -> Verilog
+    unit: str                      # throughput unit for the figures
+    input_path: Optional[str] = None
+
+
+BENCHMARKS: Dict[str, Benchmark] = {
+    "adpcm": Benchmark("adpcm", "Pulse-code modulation encoder/decoder",
+                       False, adpcm.source, "samples/s", adpcm.INPUT_PATH),
+    "bitcoin": Benchmark("bitcoin", "Bitcoin mining accelerator",
+                         False, bitcoin.source, "hashes/s"),
+    "df": Benchmark("df", "Double-precision arithmetic circuits",
+                    False, df.source, "ops/s"),
+    "mips32": Benchmark("mips32", "Bubble-sort on a 32-bit MIPS processor",
+                        False, mips32.source, "instructions/s"),
+    "nw": Benchmark("nw", "DNA sequence alignment",
+                    True, nw.source, "tiles/s", nw.INPUT_PATH),
+    "regex": Benchmark("regex", "Streaming regular expression matcher",
+                       True, regex.source, "reads/s", regex.INPUT_PATH),
+}
+
+__all__ = ["Benchmark", "BENCHMARKS", "adpcm", "bitcoin", "datagen",
+           "df", "mips32", "nw", "regex", "regexc"]

@@ -1,0 +1,172 @@
+"""``adpcm`` — IMA ADPCM encoder/decoder (Table 1).
+
+Encodes a stream of 16-bit PCM samples (read through ``$fread``) into
+4-bit IMA ADPCM codes, immediately decodes them back, and accumulates
+the reconstruction error.  The implementation follows the standard IMA
+reference algorithm (step-size table of 89 entries, index adjustment
+table) operating on bias-32768 unsigned samples.
+
+The paper singles adpcm out twice: its on-chip tables inflate FF usage
+when Synergy's state-access transform keeps RAMs out of LUTRAM
+(Figures 13–14), and its **system tasks inside complex control logic**
+(the progress ``$display`` nested in the encode path below) make
+execution control expensive, dropping its achieved frequency
+(Figure 15).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+INPUT_PATH = "adpcm_input.bin"
+
+STEP_TABLE: List[int] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+    41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+    190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+    724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+    6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+    16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+INDEX_ADJUST: List[int] = [-1, -1, -1, -1, 2, 4, 6, 8]
+
+
+def encode_decode_reference(samples: List[int]) -> Tuple[List[int], int]:
+    """Reference codec over bias-32768 samples; returns (decoded, errsum)."""
+    pred, index = 32768, 0
+    decoded: List[int] = []
+    errsum = 0
+    for sample in samples:
+        step = STEP_TABLE[index]
+        sign = sample < pred
+        mag = pred - sample if sign else sample - pred
+        code = 0
+        if mag >= step:
+            code |= 4
+            mag -= step
+        if mag >= step >> 1:
+            code |= 2
+            mag -= step >> 1
+        if mag >= step >> 2:
+            code |= 1
+        delta = (step >> 3) + ((step if code & 4 else 0)
+                               + ((step >> 1) if code & 2 else 0)
+                               + ((step >> 2) if code & 1 else 0))
+        pred = pred - delta if sign else pred + delta
+        pred = max(0, min(65535, pred))
+        index += INDEX_ADJUST[code]
+        index = max(0, min(88, index))
+        decoded.append(pred)
+        errsum = (errsum + abs(sample - pred)) & 0xFFFFFFFF
+    return decoded, errsum
+
+
+def source(quiescence: bool = False, input_path: str = INPUT_PATH,
+           report_interval_log2: int = 10) -> str:
+    """Generate the codec module."""
+    step_init = "\n".join(
+        f"    steps[{i}] = 16'd{v};" for i, v in enumerate(STEP_TABLE)
+    )
+    nv = "(* non_volatile *) " if quiescence else ""
+    yield_stmt = "$yield;" if quiescence else ""
+    mask_bits = report_interval_log2
+    return f"""
+module adpcm(
+  input wire clock,
+  output wire [31:0] samples_out,
+  output wire [31:0] errsum_out
+);
+  {nv}integer fd = $fopen("{input_path}");
+  {nv}reg [31:0] samples = 0;
+  {nv}reg [31:0] errsum = 0;
+  {nv}reg [16:0] pred = 32768;   // bias-32768 predictor
+  {nv}reg [7:0] index = 0;
+  // The step table is written once by the initial block (in software,
+  // before hardware handoff); it must be captured to survive a
+  // reconfiguration, so it is part of the non-volatile set.
+  {nv}reg [15:0] steps [0:88];
+
+  // per-sample scratch (volatile)
+  reg [15:0] s;
+  reg [15:0] step;
+  reg sign;
+  reg [16:0] mag;
+  reg [3:0] code;
+  reg [16:0] delta;
+  reg [16:0] pnew;
+
+  initial begin
+{step_init}
+  end
+
+  always @(posedge clock) begin
+    $fread(fd, s);
+    if ($feof(fd)) begin
+      $display("adpcm: %0d samples, errsum %0d", samples, errsum);
+      $finish(0);
+    end else begin
+      step = steps[index];
+      // ---- encode ----
+      if (s < pred) begin
+        sign = 1;
+        mag = pred - s;
+      end else begin
+        sign = 0;
+        mag = s - pred;
+      end
+      code = 0;
+      if (mag >= step) begin
+        code = code | 4;
+        mag = mag - step;
+      end
+      if (mag >= (step >> 1)) begin
+        code = code | 2;
+        mag = mag - (step >> 1);
+      end
+      if (mag >= (step >> 2))
+        code = code | 1;
+      // ---- decode (shared predictor update) ----
+      delta = (step >> 3)
+            + ((code & 4) ? step : 0)
+            + ((code & 2) ? (step >> 1) : 0)
+            + ((code & 1) ? (step >> 2) : 0);
+      if (sign) begin
+        if (pred < delta)
+          pnew = 0;
+        else
+          pnew = pred - delta;
+      end else begin
+        if (pred + delta > 65535)
+          pnew = 65535;
+        else
+          pnew = pred + delta;
+        // progress report from inside the control logic: this nested
+        // system task is what makes adpcm's execution control costly.
+        if (samples[{mask_bits - 1}:0] == 0)
+          $display("adpcm progress: %0d samples", samples);
+      end
+      pred <= pnew;
+      case (code)
+        4'd0, 4'd1, 4'd2, 4'd3: begin
+          if (index < 1)
+            index <= 0;
+          else
+            index <= index - 1;
+        end
+        4'd4: index <= (index + 2 > 88) ? 8'd88 : index + 2;
+        4'd5: index <= (index + 4 > 88) ? 8'd88 : index + 4;
+        4'd6: index <= (index + 6 > 88) ? 8'd88 : index + 6;
+        default: index <= (index + 8 > 88) ? 8'd88 : index + 8;
+      endcase
+      errsum <= errsum + ((s < pnew) ? (pnew - s) : (s - pnew));
+      samples <= samples + 1;
+      {yield_stmt}
+    end
+  end
+
+  assign samples_out = samples;
+  assign errsum_out = errsum;
+endmodule
+"""

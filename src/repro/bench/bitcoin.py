@@ -1,0 +1,161 @@
+"""``bitcoin`` — Bitcoin mining accelerator (Table 1).
+
+A real double-SHA-256 search: every virtual clock tick combines a
+32-byte data block with a nonce, applies two rounds of SHA-256
+compression (message + digest re-hash), and compares the result against
+a difficulty target.  The digest computation is bit-exact against
+Python's ``hashlib`` (see ``tests/bench/test_bitcoin.py``).
+
+The simplification vs. a production miner: the header is 32 bytes of
+data + 4-byte nonce (one 512-bit block after padding) instead of
+Bitcoin's 80-byte header — same datapath structure, one block fewer.
+
+The quiescence variant (§5.3/§6.3) asserts ``$yield`` at every
+tick boundary and marks only the nonce counter and found-result
+registers ``non_volatile``; the SHA working state (message schedule,
+eight working registers) is volatile scratch — that is the ~96%
+volatile fraction the paper reports for bitcoin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Tuple
+
+_K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+_H = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+#: Default 32-byte "block header data" the miner searches over.
+DEFAULT_DATA = bytes(range(1, 33))
+
+
+def reference_digest(data: bytes, nonce: int) -> bytes:
+    """The double-SHA the hardware computes, via hashlib (ground truth)."""
+    message = data + struct.pack(">I", nonce)
+    return hashlib.sha256(hashlib.sha256(message).digest()).digest()
+
+
+def find_nonce(data: bytes, target: int, start: int = 0, limit: int = 1 << 20) -> int:
+    """Reference search: first nonce whose double-SHA is below *target*."""
+    for nonce in range(start, start + limit):
+        if int.from_bytes(reference_digest(data, nonce), "big") < target:
+            return nonce
+    raise ValueError("no nonce found in range")
+
+
+def _rounds_body() -> str:
+    """The shared compression-function text (message schedule + 64 rounds)."""
+    return r"""
+      for (i = 16; i < 64; i = i + 1) begin
+        s0 = ({w[i-15][6:0], w[i-15][31:7]} ^ {w[i-15][17:0], w[i-15][31:18]}) ^ (w[i-15] >> 3);
+        s1 = ({w[i-2][16:0], w[i-2][31:17]} ^ {w[i-2][18:0], w[i-2][31:19]}) ^ (w[i-2] >> 10);
+        w[i] = w[i-16] + s0 + w[i-7] + s1;
+      end
+      a = h0; b = h1; c = h2; d = h3;
+      e = h4; f = h5; g = h6; h = h7;
+      for (i = 0; i < 64; i = i + 1) begin
+        e1 = {e[5:0], e[31:6]} ^ {e[10:0], e[31:11]} ^ {e[24:0], e[31:25]};
+        ch = (e & f) ^ (~e & g);
+        t1 = h + e1 + ch + kt[i] + w[i];
+        e0 = {a[1:0], a[31:2]} ^ {a[12:0], a[31:13]} ^ {a[21:0], a[31:22]};
+        mj = (a & b) ^ (a & c) ^ (b & c);
+        t2 = e0 + mj;
+        h = g; g = f; f = e; e = d + t1;
+        d = c; c = b; b = a; a = t1 + t2;
+      end
+      h0 = h0 + a; h1 = h1 + b; h2 = h2 + c; h3 = h3 + d;
+      h4 = h4 + e; h5 = h5 + f; h6 = h6 + g; h7 = h7 + h;
+"""
+
+
+def source(data: bytes = DEFAULT_DATA, target: int = 1 << 248,
+           quiescence: bool = False) -> str:
+    """Generate the miner's Verilog for a given data block and target."""
+    if len(data) != 32:
+        raise ValueError("data block must be exactly 32 bytes")
+    words = [int.from_bytes(data[i:i + 4], "big") for i in range(0, 32, 4)]
+    data_init = "\n".join(
+        f"      w[{i}] = 32'h{w:08x};" for i, w in enumerate(words)
+    )
+    # The round-constant table is (re)written at the top of every tick:
+    # it synthesizes to constants, and under the quiescence contract it
+    # is correctly *volatile* — the program restores it itself at the
+    # start of each logical tick, as §5.3 requires of volatile state.
+    k_init = "\n".join(
+        f"      kt[{i}] = 32'h{k:08x};" for i, k in enumerate(_K)
+    )
+    target_hex = f"256'h{target:064x}"
+    nv = "(* non_volatile *) " if quiescence else ""
+    yield_stmt = "$yield;" if quiescence else ""
+    return f"""
+module bitcoin(
+  input wire clock,
+  output wire [31:0] result_nonce,
+  output wire result_found
+);
+  {nv}reg [31:0] nonce = 0;
+  {nv}reg [31:0] found_nonce = 0;
+  {nv}reg found = 0;
+  {nv}reg [255:0] target = {target_hex};
+
+  // SHA-256 working state: volatile scratch, rebuilt every tick.
+  reg [31:0] w [0:63];
+  reg [31:0] kt [0:63];
+  reg [31:0] a, b, c, d, e, f, g, h;
+  reg [31:0] h0, h1, h2, h3, h4, h5, h6, h7;
+  reg [31:0] s0, s1, e0, e1, ch, mj, t1, t2;
+  reg [255:0] digest;
+  integer i;
+
+  always @(posedge clock) begin
+    if (!found) begin
+{k_init}
+      // ---- first hash: 32 bytes data + nonce + SHA padding ----
+{data_init}
+      w[8] = nonce;
+      w[9] = 32'h80000000;
+      for (i = 10; i < 15; i = i + 1) w[i] = 0;
+      w[15] = 32'd288;
+      h0 = 32'h6a09e667; h1 = 32'hbb67ae85; h2 = 32'h3c6ef372; h3 = 32'ha54ff53a;
+      h4 = 32'h510e527f; h5 = 32'h9b05688c; h6 = 32'h1f83d9ab; h7 = 32'h5be0cd19;
+{_rounds_body()}
+      // ---- second hash: digest + padding ----
+      w[0] = h0; w[1] = h1; w[2] = h2; w[3] = h3;
+      w[4] = h4; w[5] = h5; w[6] = h6; w[7] = h7;
+      w[8] = 32'h80000000;
+      for (i = 9; i < 15; i = i + 1) w[i] = 0;
+      w[15] = 32'd256;
+      h0 = 32'h6a09e667; h1 = 32'hbb67ae85; h2 = 32'h3c6ef372; h3 = 32'ha54ff53a;
+      h4 = 32'h510e527f; h5 = 32'h9b05688c; h6 = 32'h1f83d9ab; h7 = 32'h5be0cd19;
+{_rounds_body()}
+      digest = {{h0, h1, h2, h3, h4, h5, h6, h7}};
+      if (digest < target) begin
+        found <= 1;
+        found_nonce <= nonce;
+      end
+      nonce <= nonce + 1;
+      {yield_stmt}
+    end
+  end
+
+  assign result_nonce = found_nonce;
+  assign result_found = found;
+endmodule
+"""

@@ -1,0 +1,77 @@
+"""Deterministic input generators for the streaming benchmarks.
+
+Everything is seeded and pure so experiments are bit-reproducible: the
+same seed always yields the same file contents, the same reference
+counts, and therefore the same simulated time series.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+
+def _lcg_stream(seed: int):
+    state = seed & 0xFFFFFFFF or 1
+    while True:
+        state = (state * 1664525 + 1013904223) & 0xFFFFFFFF
+        yield state
+
+
+def regex_text(chars: int, seed: int = 7, motif_rate: int = 20) -> str:
+    """DNA-alphabet text with motif occurrences salted in.
+
+    Roughly every *motif_rate* characters, an explicit ``ACG…T`` motif
+    is embedded so the match count is healthy and predictable.
+    """
+    rng = _lcg_stream(seed)
+    alphabet = "ACGT"
+    out: List[str] = []
+    while len(out) < chars:
+        r = next(rng)
+        if r % motif_rate == 0:
+            out.extend("AC" + "G" * (r % 3) + "T")
+        else:
+            out.append(alphabet[r % 4])
+    return "".join(out[:chars])
+
+
+def nw_pairs(tiles: int, tile: int = 8, seed: int = 11,
+             similarity: int = 70) -> bytes:
+    """Packed sequence-pair file: 2×*tile* bytes per record.
+
+    *similarity* percent of positions in the second sequence copy the
+    first, so alignment scores are positive on average (real DNA reads
+    against a reference are mostly matching).
+    """
+    rng = _lcg_stream(seed)
+    alphabet = b"ACGT"
+    blob = bytearray()
+    for _ in range(tiles):
+        seq_a = bytes(alphabet[next(rng) % 4] for _ in range(tile))
+        seq_b = bytearray(seq_a)
+        for pos in range(tile):
+            if next(rng) % 100 >= similarity:
+                seq_b[pos] = alphabet[next(rng) % 4]
+        blob += seq_a + bytes(seq_b)
+    return bytes(blob)
+
+
+def adpcm_samples(count: int, seed: int = 3) -> List[int]:
+    """Bias-32768 16-bit samples of a wandering waveform."""
+    rng = _lcg_stream(seed)
+    value = 32768
+    samples: List[int] = []
+    for _ in range(count):
+        step = (next(rng) % 2048) - 1024
+        value = max(0, min(65535, value + step))
+        samples.append(value)
+    return samples
+
+
+def pack_u16(values: List[int]) -> bytes:
+    return b"".join(struct.pack(">H", v & 0xFFFF) for v in values)
+
+
+def pack_u32(values: List[int]) -> bytes:
+    return b"".join(struct.pack(">I", v & 0xFFFFFFFF) for v in values)

@@ -1,0 +1,192 @@
+"""``df`` — double-precision floating-point arithmetic circuits (Table 1).
+
+IEEE-754 binary64 multiply and add datapaths written as synthesizable
+Verilog (unpack, exponent arithmetic, 53×53 mantissa multiply,
+alignment, normalization), driving a numeric-simulation-style workload:
+an LCG draws x ∈ [1, 2), the circuit computes ``acc ← acc + x·x``, and
+after ``ITERS`` samples it reports the accumulated bits and finishes.
+
+Simplifications vs. full IEEE (documented, immaterial to the workload):
+subnormals flush to zero, rounding truncates toward zero, and
+NaN/infinity inputs are not produced by the generator.  Results track
+Python's binary64 arithmetic to ~2⁻⁵¹ relative error per operation
+(see ``tests/bench/test_df.py``).
+
+df is the paper's most volatile benchmark (~99%): everything except the
+accumulator, the LCG state and the iteration counter is per-tick
+scratch.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+ITERS_DEFAULT = 64
+
+
+def _decls(prefix: str, kind: str) -> str:
+    common = f"""
+  reg {prefix}_sa, {prefix}_sb;
+  reg [10:0] {prefix}_ea, {prefix}_eb;
+  reg [52:0] {prefix}_ma, {prefix}_mb;
+  reg [12:0] {prefix}_e;
+  reg [51:0] {prefix}_frac;
+  reg [63:0] {prefix}_y;"""
+    if kind == "mul":
+        return common + f"""
+  reg [127:0] {prefix}_m;"""
+    return common + f"""
+  reg {prefix}_bs, {prefix}_ss;
+  reg [10:0] {prefix}_be, {prefix}_se;
+  reg [52:0] {prefix}_bm, {prefix}_sm;
+  reg [11:0] {prefix}_d;
+  reg [53:0] {prefix}_s;
+  integer {prefix}_k;"""
+
+
+def _unpack(prefix: str, a: str, b: str) -> str:
+    return f"""
+      {prefix}_sa = {a}[63];
+      {prefix}_ea = {a}[62:52];
+      {prefix}_ma = {{1'b1, {a}[51:0]}};
+      {prefix}_sb = {b}[63];
+      {prefix}_eb = {b}[62:52];
+      {prefix}_mb = {{1'b1, {b}[51:0]}};"""
+
+
+def dmul_text(prefix: str, a: str, b: str) -> str:
+    """Inline double multiply: result in ``<prefix>_y``."""
+    return _unpack(prefix, a, b) + f"""
+      if (({prefix}_ea == 0) || ({prefix}_eb == 0))
+        {prefix}_y = 64'd0;
+      else begin
+        {prefix}_m = {prefix}_ma * {prefix}_mb;
+        {prefix}_e = {prefix}_ea + {prefix}_eb - 1023;
+        if ({prefix}_m[105]) begin
+          {prefix}_frac = {prefix}_m[104:53];
+          {prefix}_e = {prefix}_e + 1;
+        end else
+          {prefix}_frac = {prefix}_m[103:52];
+        {prefix}_y = {{{prefix}_sa ^ {prefix}_sb, {prefix}_e[10:0], {prefix}_frac}};
+      end"""
+
+
+def dadd_text(prefix: str, a: str, b: str) -> str:
+    """Inline double add (handles mixed signs): result in ``<prefix>_y``."""
+    return _unpack(prefix, a, b) + f"""
+      if ({prefix}_ea == 0)
+        {prefix}_y = {b};
+      else if ({prefix}_eb == 0)
+        {prefix}_y = {a};
+      else begin
+        if (({prefix}_ea > {prefix}_eb) ||
+            (({prefix}_ea == {prefix}_eb) && ({prefix}_ma >= {prefix}_mb))) begin
+          {prefix}_bs = {prefix}_sa; {prefix}_be = {prefix}_ea; {prefix}_bm = {prefix}_ma;
+          {prefix}_ss = {prefix}_sb; {prefix}_se = {prefix}_eb; {prefix}_sm = {prefix}_mb;
+        end else begin
+          {prefix}_bs = {prefix}_sb; {prefix}_be = {prefix}_eb; {prefix}_bm = {prefix}_mb;
+          {prefix}_ss = {prefix}_sa; {prefix}_se = {prefix}_ea; {prefix}_sm = {prefix}_ma;
+        end
+        {prefix}_d = {prefix}_be - {prefix}_se;
+        if ({prefix}_d > 54)
+          {prefix}_y = {{{prefix}_bs, {prefix}_be, {prefix}_bm[51:0]}};
+        else if ({prefix}_bs == {prefix}_ss) begin
+          {prefix}_s = {prefix}_bm + ({prefix}_sm >> {prefix}_d);
+          if ({prefix}_s[53]) begin
+            {prefix}_frac = {prefix}_s[52:1];
+            {prefix}_e = {prefix}_be + 1;
+          end else begin
+            {prefix}_frac = {prefix}_s[51:0];
+            {prefix}_e = {prefix}_be;
+          end
+          {prefix}_y = {{{prefix}_bs, {prefix}_e[10:0], {prefix}_frac}};
+        end else begin
+          {prefix}_s = {prefix}_bm - ({prefix}_sm >> {prefix}_d);
+          if ({prefix}_s == 0)
+            {prefix}_y = 64'd0;
+          else begin
+            {prefix}_e = {prefix}_be;
+            for ({prefix}_k = 0; {prefix}_k < 54; {prefix}_k = {prefix}_k + 1) begin
+              if (!{prefix}_s[52]) begin
+                {prefix}_s = {prefix}_s << 1;
+                {prefix}_e = {prefix}_e - 1;
+              end
+            end
+            {prefix}_y = {{{prefix}_bs, {prefix}_e[10:0], {prefix}_s[51:0]}};
+          end
+        end
+      end"""
+
+
+def source(iters: int = ITERS_DEFAULT, seed: int = 0xBEEF,
+           quiescence: bool = False) -> str:
+    """Generate the df workload module."""
+    nv = "(* non_volatile *) " if quiescence else ""
+    yield_stmt = "$yield;" if quiescence else ""
+    return f"""
+module df(
+  input wire clock,
+  output wire [63:0] acc_out,
+  output wire [31:0] iters_out
+);
+  {nv}reg [63:0] acc = 64'h0000000000000000;
+  {nv}reg [31:0] lcg = 32'd{seed};
+  {nv}reg [31:0] iters = 0;
+
+  // datapath scratch (volatile)
+  reg [63:0] x;
+  reg [31:0] r1, r2;
+{_decls("m1", "mul")}
+{_decls("a1", "add")}
+
+  always @(posedge clock) begin
+    if (iters >= {iters}) begin
+      $display("df: acc %h after %0d iters", acc, iters);
+      $finish(0);
+    end else begin
+      // two LCG draws build a 52-bit mantissa; x is in [1, 2)
+      r1 = lcg * 32'd1664525 + 32'd1013904223;
+      r2 = r1 * 32'd1664525 + 32'd1013904223;
+      lcg <= r2;
+      x = {{1'b0, 11'd1023, r1[25:0], r2[25:0]}};
+{dmul_text("m1", "x", "x")}
+{dadd_text("a1", "acc", "m1_y")}
+      acc <= a1_y;
+      iters <= iters + 1;
+      {yield_stmt}
+    end
+  end
+
+  assign acc_out = acc;
+  assign iters_out = iters;
+endmodule
+"""
+
+
+# ---------------------------------------------------------------------------
+# Python reference (same truncation semantics, for exactness checks)
+# ---------------------------------------------------------------------------
+
+
+def bits_to_float(bits: int) -> float:
+    return struct.unpack(">d", struct.pack(">Q", bits & (1 << 64) - 1))[0]
+
+
+def float_to_bits(value: float) -> int:
+    return struct.unpack(">Q", struct.pack(">d", value))[0]
+
+
+def reference_acc(iters: int = ITERS_DEFAULT, seed: int = 0xBEEF) -> float:
+    """The accumulated value using Python floats (tolerance reference)."""
+    mask = 0xFFFFFFFF
+    lcg = seed
+    acc = 0.0
+    for _ in range(iters):
+        r1 = (lcg * 1664525 + 1013904223) & mask
+        r2 = (r1 * 1664525 + 1013904223) & mask
+        lcg = r2
+        mantissa = ((r1 & ((1 << 26) - 1)) << 26) | (r2 & ((1 << 26) - 1))
+        x = bits_to_float((1023 << 52) | mantissa)
+        acc += x * x
+    return acc

@@ -1,0 +1,293 @@
+"""``mips32`` — bubble-sort on a 32-bit MIPS processor (Table 1).
+
+A single-cycle MIPS core: 32 general registers, separate instruction
+and data memories, and a datapath covering the R/I/J-type subset needed
+for real programs (`add`, `sub`, `and`, `or`, `slt`, `sll`, `srl`,
+`addi`, `andi`, `ori`, `slti`, `lw`, `sw`, `beq`, `bne`, `j`, `jal`,
+`jr`).  The workload repeatedly "randomizes" an in-memory array with an
+LCG and bubble-sorts it — the paper's long-running batch computation
+whose large architectural state (registers + both memories) makes its
+migration dips the deepest in Figure 10.
+
+A small assembler (:func:`assemble`) turns a readable instruction list
+into the image embedded in the generated Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+_R_FUNCTS = {"add": 0x20, "sub": 0x22, "and": 0x24, "or": 0x25, "slt": 0x2A,
+             "sll": 0x00, "srl": 0x02, "jr": 0x08}
+_I_OPCODES = {"addi": 0x08, "andi": 0x0C, "ori": 0x0D, "slti": 0x0A,
+              "lw": 0x23, "sw": 0x2B, "beq": 0x04, "bne": 0x05}
+_J_OPCODES = {"j": 0x02, "jal": 0x03}
+
+
+class AsmError(Exception):
+    """Raised on malformed assembly input."""
+
+
+def _reg(token: str) -> int:
+    if not token.startswith("$"):
+        raise AsmError(f"bad register {token!r}")
+    return int(token[1:])
+
+
+def assemble(lines: Sequence[str]) -> List[int]:
+    """Two-pass assembler for the supported MIPS subset.
+
+    Labels end with ``:``; branch targets are labels; ``lw``/``sw`` use
+    ``offset($base)`` syntax.  Returns 32-bit instruction words.
+    """
+    # Pass 1: label addresses (word-indexed).
+    labels: Dict[str, int] = {}
+    cleaned: List[str] = []
+    for raw in lines:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            labels[label.strip()] = len(cleaned)
+            line = rest.strip()
+        if line:
+            cleaned.append(line)
+
+    # Pass 2: encoding.
+    words: List[int] = []
+    for pc, line in enumerate(cleaned):
+        mnemonic, _, rest = line.partition(" ")
+        args = [a.strip() for a in rest.split(",")] if rest.strip() else []
+        if mnemonic in _R_FUNCTS:
+            funct = _R_FUNCTS[mnemonic]
+            if mnemonic == "jr":
+                rs = _reg(args[0])
+                words.append((rs << 21) | funct)
+            elif mnemonic in ("sll", "srl"):
+                rd, rt, shamt = _reg(args[0]), _reg(args[1]), int(args[2], 0)
+                words.append((rt << 16) | (rd << 11) | (shamt << 6) | funct)
+            else:
+                rd, rs, rt = _reg(args[0]), _reg(args[1]), _reg(args[2])
+                words.append((rs << 21) | (rt << 16) | (rd << 11) | funct)
+        elif mnemonic in _I_OPCODES:
+            op = _I_OPCODES[mnemonic]
+            if mnemonic in ("lw", "sw"):
+                rt = _reg(args[0])
+                offset_part, _, base_part = args[1].partition("(")
+                offset = int(offset_part, 0) if offset_part else 0
+                rs = _reg(base_part.rstrip(")"))
+                imm = offset & 0xFFFF
+            elif mnemonic in ("beq", "bne"):
+                rs, rt = _reg(args[0]), _reg(args[1])
+                if args[2] in labels:
+                    imm = (labels[args[2]] - (pc + 1)) & 0xFFFF
+                else:
+                    imm = int(args[2], 0) & 0xFFFF
+            else:
+                rt, rs = _reg(args[0]), _reg(args[1])
+                imm = int(args[2], 0) & 0xFFFF
+            words.append((op << 26) | (rs << 21) | (rt << 16) | imm)
+        elif mnemonic in _J_OPCODES:
+            op = _J_OPCODES[mnemonic]
+            if args[0] in labels:
+                addr = labels[args[0]]
+            else:
+                addr = int(args[0], 0)
+            words.append((op << 26) | (addr & 0x03FFFFFF))
+        else:
+            raise AsmError(f"unknown mnemonic {mnemonic!r} in {line!r}")
+    return words
+
+
+#: The workload: seed an LCG, fill ARRAY_LEN words, bubble sort, repeat.
+ARRAY_LEN = 16
+ARRAY_BASE = 64  # byte address of the array in data memory
+
+
+def _label_address(lines: Sequence[str], label: str) -> int:
+    """Word address of *label* in the assembled program."""
+    count = 0
+    for raw in lines:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        while ":" in line:
+            name, _, rest = line.partition(":")
+            if name.strip() == label:
+                return count
+            line = rest.strip()
+        if line:
+            count += 1
+    raise AsmError(f"label {label!r} not found")
+
+
+def sort_program(array_len: int = ARRAY_LEN) -> List[str]:
+    """Assembly for the randomize-and-sort loop.
+
+    Register use: $1 LCG state, $2 loop index i, $3 loop bound, $4 addr,
+    $5 inner index j, $6/$7 loaded elements, $8 swap flag, $9 scratch,
+    $10 pass counter (sorted-array count, observable from outside).
+    """
+    last = array_len - 1
+    return [
+        "        addi $1, $0, 12345      # LCG seed",
+        "        addi $10, $0, 0         # completed sorts",
+        "outer:  addi $2, $0, 0          # fill index",
+        f"        addi $3, $0, {array_len}",
+        "fill:   slt  $9, $2, $3",
+        "        beq  $9, $0, sortsetup",
+        "        sll  $9, $1, 13         # xorshift-ish scramble",
+        "        add  $1, $1, $9",
+        "        srl  $9, $1, 7",
+        "        add  $1, $1, $9",
+        "        andi $6, $1, 0xFFFF",
+        "        sll  $4, $2, 2",
+        f"        addi $4, $4, {ARRAY_BASE}",
+        "        sw   $6, 0($4)",
+        "        addi $2, $2, 1",
+        "        j    fill",
+        f"sortsetup: addi $3, $0, {last}",
+        "pass:   addi $8, $0, 0          # swapped flag",
+        "        addi $5, $0, 0          # j",
+        "inner:  slt  $9, $5, $3",
+        "        beq  $9, $0, passdone",
+        "        sll  $4, $5, 2",
+        f"        addi $4, $4, {ARRAY_BASE}",
+        "        lw   $6, 0($4)",
+        "        lw   $7, 4($4)",
+        "        slt  $9, $7, $6",
+        "        beq  $9, $0, noswap",
+        "        sw   $7, 0($4)",
+        "        sw   $6, 4($4)",
+        "        addi $8, $0, 1",
+        "noswap: addi $5, $5, 1",
+        "        j    inner",
+        "passdone: bne  $8, $0, pass",
+        "        addi $10, $10, 1        # one array sorted",
+        "        j    outer",
+    ]
+
+
+def source(array_len: int = ARRAY_LEN, imem_words: int = 64,
+           dmem_words: int = 256, quiescence: bool = False) -> str:
+    """Generate the CPU + embedded program.
+
+    The quiescence variant marks the architectural state — PC, register
+    file, data memory — ``non_volatile``; per-cycle decode scratch is
+    volatile (the paper reports mips32 at ~71% volatile, dominated by
+    the instruction memory, which is immutable and restorable from the
+    binary rather than captured).
+    """
+    lines = sort_program(array_len)
+    program = assemble(lines)
+    if len(program) > imem_words:
+        raise AsmError("program does not fit instruction memory")
+    imem_init = "\n".join(
+        f"    imem[{i}] = 32'h{word:08x};" for i, word in enumerate(program)
+    )
+    nv = "(* non_volatile *) " if quiescence else ""
+    nv_imem = "(* non_volatile *) " if quiescence else ""
+    # Quiescence: yield at the top of the outer loop, where the data
+    # array is dead (about to be re-randomized) — so dmem is correctly
+    # volatile and only the architectural core state is captured.  That
+    # split is the paper's ~71% volatile figure for mips32.
+    outer_byte_addr = _label_address(lines, "outer") * 4
+    yield_stmt = (
+        f"if (pc == 32'd{outer_byte_addr}) $yield;" if quiescence else ""
+    )
+    return f"""
+module mips32(
+  input wire clock,
+  output wire [31:0] sorts_done,
+  output wire [31:0] instret_out
+);
+  {nv}reg [31:0] pc = 0;
+  {nv}reg [31:0] regs [0:31];
+  reg [31:0] dmem [0:{dmem_words - 1}];
+  {nv_imem}reg [31:0] imem [0:{imem_words - 1}];
+  {nv}reg [31:0] instret = 0;
+
+  // decode scratch (volatile)
+  reg [31:0] inst;
+  reg [5:0] opcode, funct;
+  reg [4:0] rs, rt, rd, shamt;
+  reg [31:0] imm_se, va, vb, alu, addr;
+
+  initial begin
+{imem_init}
+  end
+
+  always @(posedge clock) begin
+    inst = imem[pc[31:2]];
+    opcode = inst[31:26];
+    rs = inst[25:21];
+    rt = inst[20:16];
+    rd = inst[15:11];
+    shamt = inst[10:6];
+    funct = inst[5:0];
+    imm_se = {{{{16{{inst[15]}}}}, inst[15:0]}};
+    va = (rs == 0) ? 32'd0 : regs[rs];
+    vb = (rt == 0) ? 32'd0 : regs[rt];
+    pc <= pc + 4;
+    case (opcode)
+      6'h00: begin // R-type
+        case (funct)
+          6'h20: alu = va + vb;            // add
+          6'h22: alu = va - vb;            // sub
+          6'h24: alu = va & vb;            // and
+          6'h25: alu = va | vb;            // or
+          6'h2a: alu = (va < vb) ? 32'd1 : 32'd0;  // slt (unsigned compare)
+          6'h00: alu = vb << shamt;        // sll
+          6'h02: alu = vb >> shamt;        // srl
+          6'h08: alu = 0;                  // jr
+          default: alu = 0;
+        endcase
+        if (funct == 6'h08)
+          pc <= va;
+        else if (rd != 0)
+          regs[rd] <= alu;
+      end
+      6'h08: if (rt != 0) regs[rt] <= va + imm_se;            // addi
+      6'h0c: if (rt != 0) regs[rt] <= va & {{16'd0, inst[15:0]}}; // andi
+      6'h0d: if (rt != 0) regs[rt] <= va | {{16'd0, inst[15:0]}}; // ori
+      6'h0a: if (rt != 0) regs[rt] <= (va < imm_se) ? 32'd1 : 32'd0; // slti
+      6'h23: begin // lw
+        addr = va + imm_se;
+        if (rt != 0) regs[rt] <= dmem[addr[31:2]];
+      end
+      6'h2b: begin // sw
+        addr = va + imm_se;
+        dmem[addr[31:2]] <= vb;
+      end
+      6'h04: if (va == vb) pc <= pc + 4 + (imm_se << 2);  // beq
+      6'h05: if (va != vb) pc <= pc + 4 + (imm_se << 2);  // bne
+      6'h02: pc <= {{pc[31:28], inst[25:0], 2'b00}};        // j
+      6'h03: begin // jal
+        if (31 != 0) regs[31] <= pc + 4;
+        pc <= {{pc[31:28], inst[25:0], 2'b00}};
+      end
+      default: ;
+    endcase
+    instret <= instret + 1;
+    {yield_stmt}
+  end
+
+  assign sorts_done = regs[10];
+  assign instret_out = instret;
+endmodule
+"""
+
+
+def reference_sorted_array(array_len: int = ARRAY_LEN) -> List[int]:
+    """What dmem's array region should hold after the first sort pass.
+
+    Replays the same LCG scramble the assembly performs.
+    """
+    state = 12345
+    values = []
+    for _ in range(array_len):
+        state = (state + ((state << 13) & 0xFFFFFFFF)) & 0xFFFFFFFF
+        state = (state + (state >> 7)) & 0xFFFFFFFF
+        values.append(state & 0xFFFF)
+    return sorted(values)

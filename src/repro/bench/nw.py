@@ -1,0 +1,116 @@
+"""``nw`` — DNA sequence alignment (Table 1, ★).
+
+A tile-based Needleman-Wunsch aligner: each iteration reads a pair of
+``TILE``-character DNA sequences from a data file (two wide ``$fread``
+traps — the *long* primitive reads of Figure 11), scores the global
+alignment with the classic dynamic program (match +2, mismatch −1,
+gap −1), and accumulates the running score.  At end-of-file it reports
+how well the stream aligned and finishes.
+
+Scores are computed in biased (excess-``BIAS``) arithmetic so the whole
+datapath stays unsigned — a common trick in real systolic aligners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+INPUT_PATH = "nw_input.bin"
+TILE = 8
+BIAS = 1024
+MATCH = 2
+MISMATCH = -1
+GAP = -1
+
+
+def reference_score(seq_a: bytes, seq_b: bytes) -> int:
+    """Ground-truth NW global alignment score for one tile pair."""
+    n, m = len(seq_a), len(seq_b)
+    row = [j * GAP for j in range(m + 1)]
+    for i in range(1, n + 1):
+        diag = row[0]
+        row[0] = i * GAP
+        for j in range(1, m + 1):
+            up = row[j]
+            score = diag + (MATCH if seq_a[i - 1] == seq_b[j - 1] else MISMATCH)
+            score = max(score, up + GAP, row[j - 1] + GAP)
+            diag = up
+            row[j] = score
+    return row[m]
+
+
+def reference_total(data: bytes) -> Tuple[int, int]:
+    """(total score, tiles) over a packed input file."""
+    total = tiles = 0
+    offset = 0
+    while offset + 2 * TILE <= len(data):
+        total += reference_score(
+            data[offset:offset + TILE], data[offset + TILE:offset + 2 * TILE]
+        )
+        tiles += 1
+        offset += 2 * TILE
+    return total, tiles
+
+
+def source(quiescence: bool = False, input_path: str = INPUT_PATH) -> str:
+    """Generate the aligner (tile size :data:`TILE`)."""
+    bits = TILE * 8
+    nv = "(* non_volatile *) " if quiescence else ""
+    yield_stmt = "$yield;" if quiescence else ""
+    return f"""
+module nw(
+  input wire clock,
+  output wire [31:0] tiles_out,
+  output wire [31:0] score_out
+);
+  {nv}integer fd = $fopen("{input_path}");
+  {nv}reg [31:0] tiles = 0;
+  {nv}reg [31:0] score_acc = 0;  // accumulated biased scores
+
+  // The in-flight tile must survive a yield: the sequences came from
+  // destructive $fread traps (the file cursor has moved on), so they
+  // and the DP row are part of the capture set.
+  {nv}reg [{bits - 1}:0] seq_a, seq_b;
+  {nv}reg [15:0] row [0:{TILE}];
+  // rolling scalars (volatile scratch)
+  reg [15:0] diag, up, best, cand;
+  reg [7:0] ca, cb;
+  integer i, j;
+
+  always @(posedge clock) begin
+    $fread(fd, seq_a);
+    $fread(fd, seq_b);
+    if ($feof(fd)) begin
+      $display("nw: %0d tiles, biased score %0d", tiles, score_acc);
+      $finish(0);
+    end else begin
+      row[0] = {BIAS};
+      for (j = 1; j <= {TILE}; j = j + 1)
+        row[j] = {BIAS} - j;
+      for (i = 1; i <= {TILE}; i = i + 1) begin
+        diag = row[0];
+        row[0] = {BIAS} - i;
+        for (j = 1; j <= {TILE}; j = j + 1) begin
+          ca = seq_a[({TILE} - i) * 8 +: 8];
+          cb = seq_b[({TILE} - j) * 8 +: 8];
+          cand = (ca == cb) ? (diag + {MATCH}) : (diag - {-MISMATCH});
+          up = row[j];
+          best = cand;
+          if (up - {-GAP} > best)
+            best = up - {-GAP};
+          if (row[j-1] - {-GAP} > best)
+            best = row[j-1] - {-GAP};
+          diag = up;
+          row[j] = best;
+        end
+      end
+      score_acc <= score_acc + row[{TILE}] - {BIAS};
+      tiles <= tiles + 1;
+      {yield_stmt}
+    end
+  end
+
+  assign tiles_out = tiles;
+  assign score_out = score_acc;
+endmodule
+"""

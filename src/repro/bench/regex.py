@@ -1,0 +1,89 @@
+"""``regex`` — streaming regular-expression matcher (Table 1, ★).
+
+Reads characters from a data file too large to store on-chip (via the
+``$fgetc`` IO trap) and runs a DFA over the stream, counting matches of
+the DNA motif ``AC(G)*T`` — i.e. ``A`` then ``C`` then any number of
+``G`` then ``T``.  At end-of-file it prints stream statistics and
+returns control to the host.
+
+This is the paper's Figure 11 workload whose *short* primitive reads
+(single characters) make it lose more than half its throughput when
+time-sliced against ``nw``'s longer string reads.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+INPUT_PATH = "regex_input.txt"
+
+#: The motif as a Python regex, for reference counting.
+PATTERN = re.compile(r"ACG*T")
+
+
+def reference_matches(text: str) -> int:
+    """Ground-truth match count (non-overlapping, like the DFA)."""
+    return len(PATTERN.findall(text))
+
+
+def source(quiescence: bool = False, input_path: str = INPUT_PATH) -> str:
+    """Generate the matcher.
+
+    DFA states: 0 = start, 1 = saw ``A``, 2 = saw ``AC(G)*``.  A ``T``
+    in state 2 completes a match.  The quiescence variant keeps the
+    counters and DFA state ``non_volatile``; the per-character scratch
+    is volatile (regex is one of the paper's "1/8 to 1/4 volatile"
+    benchmarks).
+    """
+    nv = "(* non_volatile *) " if quiescence else ""
+    yield_stmt = "$yield;" if quiescence else ""
+    return f"""
+module regex(
+  input wire clock,
+  output wire [31:0] matches_out,
+  output wire [31:0] chars_out
+);
+  {nv}integer fd = $fopen("{input_path}");
+  {nv}reg [31:0] matches = 0;
+  {nv}reg [31:0] chars = 0;
+  {nv}reg [1:0] state = 0;
+
+  // per-character scratch (volatile)
+  reg [31:0] c;
+  reg [7:0] ch;
+
+  always @(posedge clock) begin
+    c = $fgetc(fd);
+    if ($feof(fd)) begin
+      $display("regex: %0d matches in %0d chars", matches, chars);
+      $finish(0);
+    end else begin
+      ch = c[7:0];
+      chars <= chars + 1;
+      case (state)
+        2'd0:
+          if (ch == "A") state <= 2'd1;
+        2'd1: begin
+          if (ch == "C") state <= 2'd2;
+          else if (ch == "A") state <= 2'd1;
+          else state <= 2'd0;
+        end
+        2'd2: begin
+          if (ch == "G") state <= 2'd2;
+          else if (ch == "T") begin
+            matches <= matches + 1;
+            state <= 2'd0;
+          end else if (ch == "A") state <= 2'd1;
+          else state <= 2'd0;
+        end
+        default: state <= 2'd0;
+      endcase
+      {yield_stmt}
+    end
+  end
+
+  assign matches_out = matches;
+  assign chars_out = chars;
+endmodule
+"""

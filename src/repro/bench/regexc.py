@@ -1,0 +1,393 @@
+"""A regex → DFA → Verilog compiler for custom streaming matchers.
+
+The paper's artifact appendix (A.7) encourages customizing the provided
+benchmarks; the stock ``regex`` workload hard-codes one motif.  This
+module compiles a user-supplied pattern into a streaming matcher:
+
+* a restricted regex dialect — literals, character classes ``[...]``
+  (with ranges and negation), ``.``, grouping, alternation ``|``, and
+  the postfix operators ``*``, ``+``, ``?``;
+* Thompson construction → NFA, subset construction → DFA, then Hopcroft
+  -style state minimization;
+* Verilog generation: the DFA becomes the same ``case``-per-state
+  structure as the stock benchmark, counting non-overlapping matches
+  over a ``$fgetc`` stream.
+
+Matching semantics are "count non-overlapping occurrences, restarting
+from scratch after each match" — the same semantics
+:func:`reference_count` implements in Python so tests can
+cross-validate against arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+PRINTABLE = tuple(range(32, 127))
+
+
+class RegexError(Exception):
+    """Raised on a malformed pattern."""
+
+
+# ---------------------------------------------------------------------------
+# Parsing into a tiny AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Node:
+    kind: str                      # char | any | class | cat | alt | star | opt | plus
+    chars: FrozenSet[int] = frozenset()
+    children: Tuple["_Node", ...] = ()
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def take(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise RegexError("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def parse(self) -> _Node:
+        node = self.alternation()
+        if self.pos != len(self.pattern):
+            raise RegexError(f"trailing input at {self.pos}")
+        return node
+
+    def alternation(self) -> _Node:
+        branches = [self.concatenation()]
+        while self.peek() == "|":
+            self.take()
+            branches.append(self.concatenation())
+        if len(branches) == 1:
+            return branches[0]
+        return _Node("alt", children=tuple(branches))
+
+    def concatenation(self) -> _Node:
+        parts: List[_Node] = []
+        while self.peek() is not None and self.peek() not in ")|":
+            parts.append(self.postfix())
+        if not parts:
+            raise RegexError("empty branch (use '?' for optional parts)")
+        if len(parts) == 1:
+            return parts[0]
+        return _Node("cat", children=tuple(parts))
+
+    def postfix(self) -> _Node:
+        node = self.atom()
+        while self.peek() in ("*", "+", "?"):
+            op = self.take()
+            kind = {"*": "star", "+": "plus", "?": "opt"}[op]
+            node = _Node(kind, children=(node,))
+        return node
+
+    def atom(self) -> _Node:
+        ch = self.take()
+        if ch == "(":
+            node = self.alternation()
+            if self.take() != ")":
+                raise RegexError("unbalanced parenthesis")
+            return node
+        if ch == "[":
+            return self.char_class()
+        if ch == ".":
+            return _Node("any", chars=frozenset(PRINTABLE))
+        if ch == "\\":
+            return _Node("char", chars=frozenset([ord(self.take())]))
+        if ch in ")|*+?":
+            raise RegexError(f"unexpected {ch!r}")
+        return _Node("char", chars=frozenset([ord(ch)]))
+
+    def char_class(self) -> _Node:
+        negate = False
+        if self.peek() == "^":
+            self.take()
+            negate = True
+        chars: Set[int] = set()
+        while self.peek() != "]":
+            first = self.take()
+            if first == "\\":
+                first = self.take()
+            if self.peek() == "-" and self.pattern[self.pos + 1:self.pos + 2] != "]":
+                self.take()
+                last = self.take()
+                if ord(last) < ord(first):
+                    raise RegexError(f"bad range {first}-{last}")
+                chars.update(range(ord(first), ord(last) + 1))
+            else:
+                chars.add(ord(first))
+        self.take()  # closing ]
+        if negate:
+            chars = set(PRINTABLE) - chars
+        if not chars:
+            raise RegexError("empty character class")
+        return _Node("class", chars=frozenset(chars))
+
+
+# ---------------------------------------------------------------------------
+# Thompson NFA
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Nfa:
+    #: transitions[state] = list of (charset | None for epsilon, target)
+    transitions: List[List[Tuple[Optional[FrozenSet[int]], int]]]
+    start: int
+    accept: int
+
+
+def _build_nfa(node: _Node) -> _Nfa:
+    transitions: List[List[Tuple[Optional[FrozenSet[int]], int]]] = []
+
+    def new_state() -> int:
+        transitions.append([])
+        return len(transitions) - 1
+
+    def build(node: _Node) -> Tuple[int, int]:
+        if node.kind in ("char", "any", "class"):
+            start, accept = new_state(), new_state()
+            transitions[start].append((node.chars, accept))
+            return start, accept
+        if node.kind == "cat":
+            first_start, prev_accept = build(node.children[0])
+            for child in node.children[1:]:
+                child_start, child_accept = build(child)
+                transitions[prev_accept].append((None, child_start))
+                prev_accept = child_accept
+            return first_start, prev_accept
+        if node.kind == "alt":
+            start, accept = new_state(), new_state()
+            for child in node.children:
+                child_start, child_accept = build(child)
+                transitions[start].append((None, child_start))
+                transitions[child_accept].append((None, accept))
+            return start, accept
+        if node.kind in ("star", "opt", "plus"):
+            inner_start, inner_accept = build(node.children[0])
+            start, accept = new_state(), new_state()
+            transitions[start].append((None, inner_start))
+            if node.kind != "plus":
+                transitions[start].append((None, accept))
+            transitions[inner_accept].append((None, accept))
+            if node.kind != "opt":
+                transitions[inner_accept].append((None, inner_start))
+            return start, accept
+        raise RegexError(f"unknown node {node.kind}")
+
+    start, accept = build(node)
+    return _Nfa(transitions, start, accept)
+
+
+# ---------------------------------------------------------------------------
+# Subset construction + minimization
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Dfa:
+    """A deterministic matcher over byte values."""
+
+    #: transitions[state][byte] = next state
+    transitions: List[Dict[int, int]]
+    accepting: Set[int]
+    start: int = 0
+
+    @property
+    def n_states(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, byte: int) -> int:
+        return self.transitions[state].get(byte, self.start)
+
+
+def _epsilon_closure(nfa: _Nfa, states: FrozenSet[int]) -> FrozenSet[int]:
+    stack = list(states)
+    seen = set(states)
+    while stack:
+        state = stack.pop()
+        for charset, target in nfa.transitions[state]:
+            if charset is None and target not in seen:
+                seen.add(target)
+                stack.append(target)
+    return frozenset(seen)
+
+
+def compile_dfa(pattern: str) -> Dfa:
+    """Compile *pattern* into a minimized DFA."""
+    nfa = _build_nfa(_Parser(pattern).parse())
+    alphabet: Set[int] = set()
+    for edges in nfa.transitions:
+        for charset, _ in edges:
+            if charset is not None:
+                alphabet.update(charset)
+
+    start = _epsilon_closure(nfa, frozenset([nfa.start]))
+    index: Dict[FrozenSet[int], int] = {start: 0}
+    transitions: List[Dict[int, int]] = [{}]
+    accepting: Set[int] = set()
+    worklist = [start]
+    while worklist:
+        current = worklist.pop()
+        current_id = index[current]
+        if nfa.accept in current:
+            accepting.add(current_id)
+        for byte in sorted(alphabet):
+            targets: Set[int] = set()
+            for state in current:
+                for charset, target in nfa.transitions[state]:
+                    if charset is not None and byte in charset:
+                        targets.add(target)
+            if not targets:
+                continue
+            closure = _epsilon_closure(nfa, frozenset(targets))
+            if closure not in index:
+                index[closure] = len(transitions)
+                transitions.append({})
+                worklist.append(closure)
+            transitions[current_id][byte] = index[closure]
+    dfa = Dfa(transitions, accepting)
+    return _minimize(dfa, sorted(alphabet))
+
+
+def _minimize(dfa: Dfa, alphabet: List[int]) -> Dfa:
+    """Moore-style partition refinement (start-state-reset semantics:
+    missing transitions behave as a reset to the start, so they take
+    part in the signature)."""
+    partition = {
+        state: (1 if state in dfa.accepting else 0)
+        for state in range(dfa.n_states)
+    }
+    while True:
+        signatures: Dict[Tuple, List[int]] = {}
+        for state in range(dfa.n_states):
+            signature = (partition[state],) + tuple(
+                partition[dfa.step(state, byte)] for byte in alphabet
+            )
+            signatures.setdefault(signature, []).append(state)
+        new_partition: Dict[int, int] = {}
+        for block_id, states in enumerate(signatures.values()):
+            for state in states:
+                new_partition[state] = block_id
+        if new_partition == partition:
+            break
+        partition = new_partition
+
+    block_of_start = partition[dfa.start]
+    remap: Dict[int, int] = {block_of_start: 0}
+    for state in range(dfa.n_states):
+        remap.setdefault(partition[state], len(remap))
+    transitions: List[Dict[int, int]] = [{} for _ in range(len(remap))]
+    accepting: Set[int] = set()
+    for state in range(dfa.n_states):
+        block = remap[partition[state]]
+        if state in dfa.accepting:
+            accepting.add(block)
+        for byte, target in dfa.transitions[state].items():
+            transitions[block][byte] = remap[partition[target]]
+    return Dfa(transitions, accepting)
+
+
+# ---------------------------------------------------------------------------
+# Reference matcher + Verilog generation
+# ---------------------------------------------------------------------------
+
+
+def reference_count(pattern: str, text: str) -> int:
+    """Non-overlapping, restart-after-match counting (the hardware
+    semantics; equivalent to the stock benchmark's behaviour)."""
+    dfa = compile_dfa(pattern)
+    state = dfa.start
+    count = 0
+    for ch in text:
+        state = dfa.step(state, ord(ch))
+        if state in dfa.accepting:
+            count += 1
+            state = dfa.start
+    return count
+
+
+def source(pattern: str, input_path: str = "regex_input.txt",
+           module_name: str = "regexc") -> str:
+    """Generate a streaming matcher module for *pattern*.
+
+    The module mirrors the stock ``regex`` benchmark's interface:
+    ``matches_out``/``chars_out`` outputs, ``$fgetc`` input stream,
+    final ``$display`` + ``$finish`` at EOF.
+    """
+    dfa = compile_dfa(pattern)
+    state_bits = max(1, (dfa.n_states - 1).bit_length())
+
+    arms: List[str] = []
+    for state_id, edges in enumerate(dfa.transitions):
+        # Group targets: target -> sorted list of bytes.
+        by_target: Dict[int, List[int]] = {}
+        for byte, target in sorted(edges.items()):
+            by_target.setdefault(target, []).append(byte)
+        lines = [f"        {state_bits}'d{state_id}: begin"]
+        first = True
+        for target, bytes_ in sorted(by_target.items()):
+            cond = " || ".join(f"(ch == 8'd{b})" for b in bytes_)
+            keyword = "if" if first else "else if"
+            first = False
+            if target in dfa.accepting:
+                lines.append(f"          {keyword} ({cond}) begin")
+                lines.append("            matches <= matches + 1;")
+                lines.append(f"            state <= {state_bits}'d{dfa.start};")
+                lines.append("          end")
+            else:
+                lines.append(f"          {keyword} ({cond})")
+                lines.append(f"            state <= {state_bits}'d{target};")
+        if first:
+            lines.append(f"          state <= {state_bits}'d{dfa.start};")
+        else:
+            lines.append("          else")
+            lines.append(f"            state <= {state_bits}'d{dfa.start};")
+        lines.append("        end")
+        arms.append("\n".join(lines))
+    case_body = "\n".join(arms)
+
+    return f"""
+module {module_name}(
+  input wire clock,
+  output wire [31:0] matches_out,
+  output wire [31:0] chars_out
+);
+  integer fd = $fopen("{input_path}");
+  reg [31:0] matches = 0;
+  reg [31:0] chars = 0;
+  reg [{state_bits - 1}:0] state = 0;
+  reg [31:0] c;
+  reg [7:0] ch;
+
+  always @(posedge clock) begin
+    c = $fgetc(fd);
+    if ($feof(fd)) begin
+      $display("{module_name}: %0d matches in %0d chars", matches, chars);
+      $finish(0);
+    end else begin
+      ch = c[7:0];
+      chars <= chars + 1;
+      case (state)
+{case_body}
+        default: state <= {state_bits}'d0;
+      endcase
+    end
+  end
+
+  assign matches_out = matches;
+  assign chars_out = chars;
+endmodule
+"""

@@ -1,0 +1,19 @@
+"""Synergy compiler core: the paper's §3 transformations."""
+
+from .scheduling import Core, GuardedConjunct, TransformError, build_core, defork, flatten_blocks, guard_name
+from .control import (
+    ABI_CONT, ABI_NONE, ABI_PORT, NATIVE_CLOCK, STATE_VAR, TASK_NONE, TASK_VAR,
+)
+from .machinify import NbaSite, TaskSite, TransformResult, machinify, SUFFIX, RUN_VAR
+from .statevars import StateReport, StateVar, analyze_state
+from .pipeline import CompiledProgram, compile_program
+
+__all__ = [
+    "Core", "GuardedConjunct", "TransformError", "build_core", "defork",
+    "flatten_blocks", "guard_name",
+    "ABI_CONT", "ABI_NONE", "ABI_PORT", "NATIVE_CLOCK", "STATE_VAR",
+    "TASK_NONE", "TASK_VAR",
+    "NbaSite", "TaskSite", "TransformResult", "machinify", "SUFFIX", "RUN_VAR",
+    "StateReport", "StateVar", "analyze_state",
+    "CompiledProgram", "compile_program",
+]

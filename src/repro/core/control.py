@@ -1,0 +1,156 @@
+"""Control transformations (paper §3.3, Figure 4).
+
+The Cascade ABI presents all inputs — including clocks — as values in
+``set`` messages that may be separated by many native clock cycles on the
+target device.  These transformations therefore:
+
+* declare ``__p_<x>`` registers holding the previous value of every
+  variable appearing in a core guard, updated on the native clock;
+* declare edge-detection wires capturing the original semantics
+  (``__pos_x = !__p_x & x`` and friends);
+* declare the ``__state`` and ``__task`` bookkeeping registers;
+* re-guard the core with a ``posedge`` trigger on the native clock
+  (``__clk``).
+
+The helpers here only *produce declarations*; the state-machine pass in
+:mod:`repro.core.machinify` stitches them into the output module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..verilog import ast_nodes as ast
+from .scheduling import guard_name
+
+NATIVE_CLOCK = "__clk"
+ABI_PORT = "__abi"
+STATE_VAR = "__state"
+TASK_VAR = "__task"
+
+# __abi command encodings (the subset of the Cascade ABI the state
+# machine observes directly; get/set travel out-of-band).
+ABI_NONE = 0
+ABI_CONT = 1
+
+TASK_NONE = 0
+
+
+def prev_name(signal: str) -> str:
+    """Name of the previous-value register for *signal*."""
+    return "__p_" + signal
+
+
+@dataclass(frozen=True)
+class EdgeDetector:
+    """Declarations implementing edge detection for one guard signal."""
+
+    signal: str
+    edge: str
+
+    @property
+    def wire(self) -> str:
+        return guard_name(self.edge, self.signal)
+
+    def decls(self) -> List[ast.Item]:
+        """The ``D`` rules of Figure 4 for this (edge, signal) pair."""
+        prev = prev_name(self.signal)
+        sig = ast.Identifier(self.signal)
+        prev_ref = ast.Identifier(prev)
+        if self.edge == "posedge":
+            detect: ast.Expr = ast.Binary("&", ast.Unary("!", prev_ref), sig)
+        elif self.edge == "negedge":
+            detect = ast.Binary("&", prev_ref, ast.Unary("!", sig))
+        else:  # any
+            detect = ast.Binary("!=", prev_ref, sig)
+        return [ast.Decl("wire", self.wire, init=detect)]
+
+
+def prev_value_items(signals: List[str]) -> List[ast.Item]:
+    """``__p_<x>`` registers plus the native-clock update block (rule 𝛿).
+
+    The update uses non-blocking assignment so the edge wires stay
+    asserted for exactly one native clock cycle after a ``set`` changes
+    the underlying variable.
+    """
+    items: List[ast.Item] = []
+    updates: List[ast.Stmt] = []
+    for signal in signals:
+        prev = prev_name(signal)
+        items.append(ast.Decl("reg", prev))
+        updates.append(
+            ast.Assign(ast.Identifier(prev), ast.Identifier(signal), blocking=False)
+        )
+    if updates:
+        items.append(
+            ast.Always(
+                (ast.EventExpr("posedge", ast.Identifier(NATIVE_CLOCK)),),
+                ast.Block(tuple(updates)),
+            )
+        )
+    return items
+
+
+def bookkeeping_decls(final_state: int, task_width: int = 32,
+                      state_width: int = 32) -> List[ast.Item]:
+    """``__state`` / ``__task`` registers, idle-initialised (Figure 5)."""
+    return [
+        ast.Decl(
+            "reg", STATE_VAR,
+            ast.Range(ast.Number(state_width - 1), ast.Number(0)),
+            init=ast.Number(final_state),
+        ),
+        ast.Decl(
+            "reg", TASK_VAR,
+            ast.Range(ast.Number(task_width - 1), ast.Number(0)),
+            init=ast.Number(TASK_NONE),
+        ),
+    ]
+
+
+def status_decls(final_state: int) -> List[ast.Item]:
+    """The ``__tasks`` / ``__final`` / ``__cont`` / ``__done`` wires.
+
+    Mirrors lines 28–32 of Figure 5:
+
+    * ``__tasks`` — a trap is pending;
+    * ``__final`` — control is in the idle/final state;
+    * ``__cont`` — the machine may advance (runtime granted continuation,
+      or it is mid-execution with nothing pending);
+    * ``__done`` — the logical tick is complete.
+    """
+    tasks = ast.Binary("!=", ast.Identifier(TASK_VAR), ast.Number(TASK_NONE))
+    final = ast.Binary("==", ast.Identifier(STATE_VAR), ast.Number(final_state))
+    cont = ast.Binary(
+        "|",
+        ast.Binary("==", ast.Identifier(ABI_PORT), ast.Number(ABI_CONT)),
+        ast.Binary(
+            "&",
+            ast.Unary("!", ast.Identifier("__final")),
+            ast.Unary("!", ast.Identifier("__tasks")),
+        ),
+    )
+    done = ast.Binary(
+        "&", ast.Identifier("__final"), ast.Unary("!", ast.Identifier("__tasks"))
+    )
+    return [
+        ast.Decl("wire", "__tasks", init=tasks),
+        ast.Decl("wire", "__final", init=final),
+        ast.Decl("wire", "__cont", init=cont),
+        ast.Decl("wire", "__done", init=done),
+    ]
+
+
+def abi_ports() -> Tuple[List[str], List[ast.Item]]:
+    """The native-clock and ABI command ports of a transformed module."""
+    ports = [NATIVE_CLOCK, ABI_PORT]
+    decls: List[ast.Item] = [
+        ast.Decl("wire", NATIVE_CLOCK, direction="input"),
+        ast.Decl(
+            "wire", ABI_PORT,
+            ast.Range(ast.Number(5), ast.Number(0)),
+            direction="input",
+        ),
+    ]
+    return ports, decls

@@ -1,0 +1,81 @@
+"""The full Synergy compilation pipeline.
+
+``compile_program`` is the front door used by the runtime, the fabric
+backends, and the hypervisor: parse → flatten → analyze state →
+machinify.  The result bundles everything later stages need — the
+original flattened module (for software execution), the transformed
+module (for hardware execution), the task table (for servicing traps),
+and the state report (for capture and quiescence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..verilog import ast_nodes as ast
+from ..verilog.elaborate import flatten
+from ..verilog.parser import parse
+from ..verilog.printer import print_module
+from ..verilog.width import WidthEnv
+from .machinify import TransformResult, machinify
+from .statevars import StateReport, analyze_state
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the virtualization stack knows about one program."""
+
+    source: str
+    flat: ast.Module
+    env: WidthEnv
+    transform: TransformResult
+    state: StateReport
+
+    @property
+    def name(self) -> str:
+        return self.flat.name
+
+    @property
+    def hardware_text(self) -> str:
+        """Deterministic Verilog text of the transformed module.
+
+        Used as the compilation-cache key (§7: deterministic code
+        generation increases cache hit rates).
+        """
+        return print_module(self.transform.module)
+
+    @property
+    def software_text(self) -> str:
+        return print_module(self.flat)
+
+
+def compile_program(
+    source: Union[str, ast.SourceFile, ast.Module],
+    top: Optional[str] = None,
+) -> CompiledProgram:
+    """Run the full Synergy pipeline over *source*.
+
+    *source* may be Verilog text, a parsed :class:`SourceFile`, or an
+    already-flattened :class:`Module`.  *top* selects the root module
+    (defaults to the last module in the file, matching common testbench
+    conventions).
+    """
+    if isinstance(source, str):
+        text = source
+        parsed = parse(source)
+    elif isinstance(source, ast.SourceFile):
+        parsed = source
+        text = ""
+    else:
+        parsed = ast.SourceFile((source,))
+        text = ""
+
+    top_name = top if top is not None else parsed.modules[-1].name
+    flat = flatten(parsed, top_name)
+    if not text:
+        text = print_module(flat)
+    env = WidthEnv(flat)
+    transform = machinify(flat, env)
+    state = analyze_state(flat, env)
+    return CompiledProgram(text, flat, env, transform, state)

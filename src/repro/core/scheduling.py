@@ -1,0 +1,172 @@
+"""Scheduling transformations (paper §3.2, Figure 3).
+
+Establishes the invariant that all procedural logic appears in a single
+control statement — the *core* — through three sound rewrites:
+
+1. ``fork``/``join`` → ``begin``/``end`` (sequential execution is a valid
+   scheduling of a parallel block);
+2. nested ``begin``/``end`` flattening (nesting implies no scheduling
+   constraints);
+3. merging every ``always`` block into one statement guarded by the union
+   of the original events, with each conjunct guarded by a name-mangled
+   edge-detection wire (``__pos_x`` / ``__neg_x`` / ``__any_x``).
+
+These rewrites are sound even for programs with multiple clock domains,
+because Verilog only allows disjunctive guards (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..verilog import ast_nodes as ast
+
+
+class TransformError(Exception):
+    """Raised when a module cannot be transformed (unsupported shape)."""
+
+
+def defork(stmt: ast.Stmt) -> ast.Stmt:
+    """Replace every ``fork``/``join`` with an equivalent ``begin``/``end``."""
+    if isinstance(stmt, ast.ForkJoin):
+        return ast.Block(tuple(defork(s) for s in stmt.stmts), stmt.name, stmt.pos)
+    if isinstance(stmt, ast.Block):
+        return ast.Block(tuple(defork(s) for s in stmt.stmts), stmt.name, stmt.pos)
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            stmt.cond,
+            defork(stmt.then_stmt) if stmt.then_stmt else None,
+            defork(stmt.else_stmt) if stmt.else_stmt else None,
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.Case):
+        items = tuple(
+            ast.CaseItem(item.labels, defork(item.stmt) if item.stmt else None)
+            for item in stmt.items
+        )
+        return ast.Case(stmt.expr, items, stmt.kind, stmt.pos)
+    if isinstance(stmt, ast.For):
+        return ast.For(stmt.init, stmt.cond, stmt.step,
+                       defork(stmt.body) if stmt.body else None, stmt.pos)
+    if isinstance(stmt, ast.While):
+        return ast.While(stmt.cond, defork(stmt.body) if stmt.body else None, stmt.pos)
+    if isinstance(stmt, ast.RepeatStmt):
+        return ast.RepeatStmt(stmt.count, defork(stmt.body) if stmt.body else None, stmt.pos)
+    if isinstance(stmt, ast.DelayStmt):
+        return ast.DelayStmt(stmt.delay, defork(stmt.stmt) if stmt.stmt else None, stmt.pos)
+    return stmt
+
+
+def flatten_blocks(stmt: ast.Stmt) -> ast.Stmt:
+    """Flatten nested unnamed ``begin``/``end`` blocks into a single block."""
+    if isinstance(stmt, ast.Block):
+        flat: List[ast.Stmt] = []
+        for inner in stmt.stmts:
+            rewritten = flatten_blocks(inner)
+            if isinstance(rewritten, ast.Block) and rewritten.name is None:
+                flat.extend(rewritten.stmts)
+            else:
+                flat.append(rewritten)
+        return ast.Block(tuple(flat), stmt.name, stmt.pos)
+    if isinstance(stmt, ast.If):
+        return ast.If(
+            stmt.cond,
+            flatten_blocks(stmt.then_stmt) if stmt.then_stmt else None,
+            flatten_blocks(stmt.else_stmt) if stmt.else_stmt else None,
+            stmt.pos,
+        )
+    if isinstance(stmt, ast.Case):
+        items = tuple(
+            ast.CaseItem(item.labels, flatten_blocks(item.stmt) if item.stmt else None)
+            for item in stmt.items
+        )
+        return ast.Case(stmt.expr, items, stmt.kind, stmt.pos)
+    if isinstance(stmt, ast.For):
+        return ast.For(stmt.init, stmt.cond, stmt.step,
+                       flatten_blocks(stmt.body) if stmt.body else None, stmt.pos)
+    if isinstance(stmt, ast.While):
+        return ast.While(stmt.cond, flatten_blocks(stmt.body) if stmt.body else None, stmt.pos)
+    if isinstance(stmt, ast.RepeatStmt):
+        return ast.RepeatStmt(stmt.count,
+                              flatten_blocks(stmt.body) if stmt.body else None, stmt.pos)
+    return stmt
+
+
+def guard_name(edge: str, signal: str) -> str:
+    """The mangled name of an edge-detection wire (Figure 3's ``G``)."""
+    prefix = {"posedge": "__pos_", "negedge": "__neg_", "any": "__any_"}[edge]
+    return prefix + signal
+
+
+@dataclass
+class GuardedConjunct:
+    """One original ``always`` block after normalization.
+
+    ``guards`` names the edge-detection wires whose disjunction enables
+    the body within the merged core.
+    """
+
+    events: Tuple[ast.EventExpr, ...]
+    guards: Tuple[str, ...]
+    body: ast.Stmt
+
+
+@dataclass
+class Core:
+    """The merged core: every procedural block behind one control point."""
+
+    conjuncts: List[GuardedConjunct] = field(default_factory=list)
+    #: (edge, signal-name) pairs needing edge-detection machinery.
+    edge_signals: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def guard_union(self) -> List[str]:
+        """Every guard wire referenced by the core, in first-use order."""
+        seen: List[str] = []
+        for conjunct in self.conjuncts:
+            for guard in conjunct.guards:
+                if guard not in seen:
+                    seen.append(guard)
+        return seen
+
+    def body(self) -> ast.Stmt:
+        """The merged core body: each conjunct wrapped in its guard test."""
+        stmts: List[ast.Stmt] = []
+        for conjunct in self.conjuncts:
+            cond: Optional[ast.Expr] = None
+            for guard in conjunct.guards:
+                ref: ast.Expr = ast.Identifier(guard)
+                cond = ref if cond is None else ast.Binary("|", cond, ref)
+            assert cond is not None
+            stmts.append(ast.If(cond, conjunct.body, None))
+        return ast.Block(tuple(stmts))
+
+
+def build_core(module: ast.Module) -> Core:
+    """Apply the Figure 3 transformations to every ``always`` block."""
+    core = Core()
+    seen_edges: Dict[Tuple[str, str], None] = {}
+    for item in module.items:
+        if not isinstance(item, ast.Always):
+            continue
+        if item.sensitivity == ast.STAR:
+            # @* blocks are combinational; they are handled like continuous
+            # assignments by the backend and do not join the core.
+            continue
+        guards: List[str] = []
+        events: List[ast.EventExpr] = []
+        for event in item.sensitivity:
+            if not isinstance(event.expr, ast.Identifier):
+                raise TransformError(
+                    "core merging requires identifier events "
+                    f"(got {event.expr!r})"
+                )
+            signal = event.expr.name
+            guards.append(guard_name(event.edge, signal))
+            events.append(event)
+            seen_edges.setdefault((event.edge, signal), None)
+        body = flatten_blocks(defork(item.stmt))
+        core.conjuncts.append(GuardedConjunct(tuple(events), tuple(guards), body))
+    core.edge_signals = list(seen_edges)
+    return core

@@ -1,0 +1,148 @@
+"""Program-state identification and volatility analysis (paper §5.3, §6.3).
+
+Synergy satisfies OS state-capture requirements *transparently*: a
+compiler analysis identifies the set of variables that comprise a
+program's state, and the backend emits access logic for them.  When a
+program opts into the quiescence protocol by asserting ``$yield``, its
+stateful variables become **volatile by default** — they are skipped by
+state-safe compilations and it becomes the program's responsibility to
+reset them after a yield — unless annotated ``(* non_volatile *)``.
+
+The paper measures that df/bitcoin/mips32 have 99%/96%/71% volatile
+state and that honouring volatility saves up to ~2× in LUTs/FFs (§6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..verilog import ast_nodes as ast
+from ..verilog.width import WidthEnv
+
+
+@dataclass
+class StateVar:
+    """One stateful variable (register, integer, or memory)."""
+
+    name: str
+    bits: int
+    is_memory: bool
+    non_volatile: bool
+
+
+@dataclass
+class StateReport:
+    """The capture set of one program, with volatility classification."""
+
+    module_name: str
+    uses_yield: bool
+    variables: List[StateVar] = field(default_factory=list)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(v.bits for v in self.variables)
+
+    @property
+    def volatile(self) -> List[StateVar]:
+        """Variables *not* captured by state-safe compilation."""
+        if not self.uses_yield:
+            return []
+        return [v for v in self.variables if not v.non_volatile]
+
+    @property
+    def non_volatile(self) -> List[StateVar]:
+        """Variables the backend must emit capture logic for."""
+        if not self.uses_yield:
+            return list(self.variables)
+        return [v for v in self.variables if v.non_volatile]
+
+    @property
+    def captured_bits(self) -> int:
+        return sum(v.bits for v in self.non_volatile)
+
+    @property
+    def volatile_bits(self) -> int:
+        return sum(v.bits for v in self.volatile)
+
+    @property
+    def volatile_fraction(self) -> float:
+        if self.total_bits == 0:
+            return 0.0
+        return self.volatile_bits / self.total_bits
+
+    def captured_names(self) -> List[str]:
+        return [v.name for v in self.non_volatile]
+
+
+def _module_uses_yield(module: ast.Module) -> bool:
+    from ..verilog.ast_nodes import walk_stmt
+
+    for item in module.items:
+        stmt = None
+        if isinstance(item, ast.Always):
+            stmt = item.stmt
+        elif isinstance(item, ast.Initial):
+            stmt = item.stmt
+        if stmt is None:
+            continue
+        for node in walk_stmt(stmt):
+            if isinstance(node, ast.SysTask) and node.name == "$yield":
+                return True
+    return False
+
+
+def task_nesting(module: ast.Module) -> int:
+    """Maximum control-nesting depth of any system task in *module*.
+
+    The paper attributes adpcm's frequency drop to "its use of system
+    tasks from inside its complex control logic, which makes execution
+    control much more expensive to implement" (§6.4) — this metric is
+    how the synthesis timing model sees that complexity.
+    """
+
+    def depth_of(stmt, depth: int) -> int:
+        if stmt is None:
+            return 0
+        if isinstance(stmt, ast.SysTask):
+            return depth
+        if isinstance(stmt, (ast.Block, ast.ForkJoin)):
+            return max((depth_of(s, depth) for s in stmt.stmts), default=0)
+        if isinstance(stmt, ast.If):
+            return max(depth_of(stmt.then_stmt, depth + 1),
+                       depth_of(stmt.else_stmt, depth + 1))
+        if isinstance(stmt, ast.Case):
+            return max((depth_of(item.stmt, depth + 1) for item in stmt.items),
+                       default=0)
+        if isinstance(stmt, (ast.For, ast.While, ast.RepeatStmt)):
+            return depth_of(stmt.body, depth + 1)
+        if isinstance(stmt, ast.DelayStmt):
+            return depth_of(stmt.stmt, depth)
+        return 0
+
+    deepest = 0
+    for item in module.items:
+        if isinstance(item, (ast.Always, ast.Initial)):
+            deepest = max(deepest, depth_of(item.stmt, 0))
+    return deepest
+
+
+def analyze_state(module: ast.Module, env: WidthEnv = None) -> StateReport:
+    """Identify the capture set of a (flattened) module.
+
+    Transform-internal bookkeeping (``__``-prefixed names) is excluded:
+    the runtime reconstructs it from scratch on restore, so it is never
+    part of the architectural state.
+    """
+    env = env if env is not None else WidthEnv(module)
+    report = StateReport(module.name, _module_uses_yield(module))
+    for sig in env.signals.values():
+        if not sig.is_state:
+            continue
+        if sig.name.startswith("__"):
+            continue
+        bits = sig.width * (sig.depth or 1)
+        report.variables.append(
+            StateVar(sig.name, bits, sig.is_memory, sig.non_volatile_attr)
+        )
+    return report

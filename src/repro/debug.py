@@ -1,0 +1,242 @@
+"""Step-through debugging of virtualized hardware (paper §3, future work).
+
+The paper notes that the ability to yield control at sub-clock-cycle
+granularity enables "say, step-through debuggers".  This module builds
+exactly that on top of the transformed state machine: because every
+program becomes an explicit ``__state`` automaton whose task sites map
+back to source constructs, a debugger can
+
+* single-step **native cycles** or whole **virtual ticks**;
+* set breakpoints on control states, on trap sites (e.g. "break at the
+  ``$fread``"), or on arbitrary value predicates;
+* inspect and patch any program variable mid-tick — between two
+  statements of a ``begin``/``end`` block, which no between-tick
+  interrupt mechanism can do (§2.1).
+
+It drives a real engine slot on a :class:`SimulatedBoard`; traps hit
+during stepping are serviced through the normal runtime machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .core.control import ABI_CONT, ABI_NONE, ABI_PORT, NATIVE_CLOCK, STATE_VAR, TASK_VAR
+from .core.machinify import TaskSite
+from .core.pipeline import CompiledProgram, compile_program
+from .fabric.board import SimulatedBoard
+from .fabric.device import DE10, Device
+from .fabric.bitstream import BitstreamCompiler
+from .fabric.synth import SynthOptions
+from .interp.systasks import TaskHost
+from .interp.vfs import VirtualFS
+from .runtime.abi import AbiChannel
+from .runtime.backends import DirectBoardBackend
+from .runtime.traps import TrapServicer
+
+
+@dataclass
+class Breakpoint:
+    """A stopping condition evaluated after every native cycle."""
+
+    kind: str                    # "state" | "task" | "watch"
+    state_id: Optional[int] = None
+    task_name: Optional[str] = None
+    predicate: Optional[Callable[["Debugger"], bool]] = None
+    hits: int = 0
+
+    def matches(self, debugger: "Debugger") -> bool:
+        if self.kind == "state":
+            return debugger.current_state == self.state_id
+        if self.kind == "task":
+            site = debugger.pending_trap
+            return site is not None and site.name == self.task_name
+        if self.kind == "watch":
+            assert self.predicate is not None
+            return self.predicate(debugger)
+        return False
+
+
+@dataclass
+class StopEvent:
+    """Why stepping stopped."""
+
+    reason: str                  # "breakpoint" | "trap" | "tick-end" | "step"
+    breakpoint: Optional[Breakpoint] = None
+    trap: Optional[TaskSite] = None
+    native_cycles: int = 0
+
+
+class Debugger:
+    """Interactive control over one virtualized program."""
+
+    def __init__(self, source, device: Device = DE10,
+                 vfs: Optional[VirtualFS] = None, clock: str = "clock"):
+        self.program: CompiledProgram = (
+            source if isinstance(source, CompiledProgram)
+            else compile_program(source)
+        )
+        self.clock = clock
+        self.host = TaskHost(vfs if vfs is not None else VirtualFS())
+        self.backend = DirectBoardBackend(device)
+        placement = self.backend.place(self.program)
+        self.engine_id = placement.engine_id
+        self.channel: AbiChannel = self.backend.channel(self.engine_id)
+        self.servicer = TrapServicer(self.host, self.program.env)
+        self.breakpoints: List[Breakpoint] = []
+        self.ticks = 0
+        self._clock_level = 0
+        self._slot = self.backend.board.slots[self.engine_id]
+        # Software-side declaration initializers ($fopen results).
+        from .runtime.engine import SoftwareEngine
+
+        seed = SoftwareEngine(self.program, self.host).snapshot()
+        self._slot.sim.store.restore(seed)
+        self._slot.sim.step()
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def current_state(self) -> int:
+        """The automaton's control state (``__state``)."""
+        return self._slot.sim.get(STATE_VAR)
+
+    @property
+    def at_tick_boundary(self) -> bool:
+        return (self.current_state == self.program.transform.final_state
+                and self._slot.sim.get(TASK_VAR) == 0)
+
+    @property
+    def pending_trap(self) -> Optional[TaskSite]:
+        task_id = self._slot.sim.get(TASK_VAR)
+        if not task_id:
+            return None
+        return self.program.transform.tasks.get(task_id)
+
+    def read(self, name: str) -> int:
+        """Inspect a program variable (mid-tick reads are fine)."""
+        return self._slot.sim.get(name)
+
+    def write(self, name: str, value: int) -> None:
+        """Patch a program variable in place."""
+        self._slot.sim.set(name, value)
+        self._slot.sim.step()
+
+    def locals(self) -> Dict[str, int]:
+        """Every scalar program variable (transform internals excluded)."""
+        return {
+            name: value
+            for name, value in self._slot.sim.store.values.items()
+            if not name.startswith("__")
+        }
+
+    # -- breakpoints -----------------------------------------------------------
+
+    def break_at_state(self, state_id: int) -> Breakpoint:
+        bp = Breakpoint("state", state_id=state_id)
+        self.breakpoints.append(bp)
+        return bp
+
+    def break_at_task(self, task_name: str) -> Breakpoint:
+        """Break whenever a given system task traps (e.g. '$fread')."""
+        bp = Breakpoint("task", task_name=task_name)
+        self.breakpoints.append(bp)
+        return bp
+
+    def watch(self, predicate: Callable[["Debugger"], bool]) -> Breakpoint:
+        """Break when *predicate(debugger)* becomes true."""
+        bp = Breakpoint("watch", predicate=predicate)
+        self.breakpoints.append(bp)
+        return bp
+
+    def clear_breakpoints(self) -> None:
+        self.breakpoints.clear()
+
+    def _check_breakpoints(self) -> Optional[Breakpoint]:
+        for bp in self.breakpoints:
+            if bp.matches(self):
+                bp.hits += 1
+                return bp
+        return None
+
+    # -- stepping ----------------------------------------------------------------
+
+    def _native_cycle(self) -> None:
+        sim = self._slot.sim
+        if self.at_tick_boundary and self.pending_trap is None:
+            # Idle: start the next virtual tick by toggling the clock.
+            self._clock_level ^= 1
+            sim.set(self.clock, self._clock_level)
+            sim.step()
+            if self._clock_level == 1:
+                self.ticks += 1
+        sim.tick(NATIVE_CLOCK)
+        self._slot.native_cycles += 1
+
+    def step_cycle(self) -> StopEvent:
+        """Advance exactly one native clock cycle."""
+        self._native_cycle()
+        trap = self.pending_trap
+        bp = self._check_breakpoints()
+        if bp is not None:
+            return StopEvent("breakpoint", breakpoint=bp, trap=trap,
+                             native_cycles=1)
+        if trap is not None:
+            return StopEvent("trap", trap=trap, native_cycles=1)
+        return StopEvent("step", native_cycles=1)
+
+    def service_trap(self) -> None:
+        """Service the pending trap and grant continuation."""
+        site = self.pending_trap
+        if site is None:
+            return
+        self.servicer.service(self.channel, site)
+        sim = self._slot.sim
+        sim.set(ABI_PORT, ABI_CONT)
+        sim.step()
+        sim.tick(NATIVE_CLOCK)
+        self._slot.native_cycles += 1
+        sim.set(ABI_PORT, ABI_NONE)
+        sim.step()
+
+    def continue_(self, max_cycles: int = 100_000) -> StopEvent:
+        """Run until a breakpoint fires (traps are serviced silently
+        unless a task breakpoint matches them)."""
+        cycles = 0
+        while cycles < max_cycles:
+            event = self.step_cycle()
+            cycles += 1
+            if event.reason == "breakpoint":
+                event.native_cycles = cycles
+                return event
+            if event.reason == "trap":
+                if self.host.finished:
+                    return StopEvent("tick-end", native_cycles=cycles)
+                self.service_trap()
+        return StopEvent("tick-end", native_cycles=cycles)
+
+    def step_tick(self, max_cycles: int = 100_000) -> StopEvent:
+        """Finish the current virtual tick (servicing traps), honouring
+        breakpoints along the way.
+
+        Mid-tick, this runs to the end of the in-flight tick; at a tick
+        boundary, it runs exactly one full tick.
+        """
+        start_ticks = self.ticks
+        started_mid_tick = not (self.at_tick_boundary and self._clock_level == 0)
+        cycles = 0
+        while cycles < max_cycles:
+            event = self.step_cycle()
+            cycles += 1
+            if event.reason == "breakpoint":
+                event.native_cycles = cycles
+                return event
+            if event.reason == "trap":
+                if self.host.finished:
+                    break
+                self.service_trap()
+            if self.at_tick_boundary and self._clock_level == 0:
+                if started_mid_tick or self.ticks > start_ticks:
+                    break
+        return StopEvent("tick-end", native_cycles=cycles)

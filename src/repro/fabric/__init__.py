@@ -1,0 +1,17 @@
+"""Simulated FPGA fabric: devices, synthesis model, bitstreams, boards."""
+
+from .device import DE10, DEVICES, F1, STRATIX10, Device, device_by_name
+from .synth import CAPTURE_TREE_FANOUT, ResourceEstimate, SynthOptions, Synthesizer
+from .bitstream import Bitstream, BitstreamCompiler, text_digest
+from .cache import CacheStats, CompilationCache
+from .speculative import SpeculativeBuild, SpeculativeCompiler
+from .board import BoardError, EngineSlot, EvalOutcome, SimulatedBoard
+
+__all__ = [
+    "DE10", "DEVICES", "F1", "STRATIX10", "Device", "device_by_name",
+    "CAPTURE_TREE_FANOUT", "ResourceEstimate", "SynthOptions", "Synthesizer",
+    "Bitstream", "BitstreamCompiler", "text_digest",
+    "CacheStats", "CompilationCache",
+    "SpeculativeBuild", "SpeculativeCompiler",
+    "BoardError", "EngineSlot", "EvalOutcome", "SimulatedBoard",
+]

@@ -1,0 +1,245 @@
+"""The simulated reconfigurable board.
+
+This is the hardware substitute (see DESIGN.md): a board holds one
+programmed design consisting of engine slots — one per sub-program the
+hypervisor placed — and *executes the transformed Verilog* of each slot
+with cycle accounting against the device's clock.
+
+The execution protocol is the hardware half of the Cascade ABI:
+
+* ``set_var``/``get_var`` — data-plane access to program variables
+  (over Avalon-MM on the DE10, PCIe on F1; latency modeled);
+* ``evaluate`` — drive the native clock until the slot's state machine
+  raises ``__done`` or traps with a nonzero ``__task``;
+* ``cont`` — pulse ``__abi = CONT`` for one native cycle after the
+  runtime services a trap, then keep driving.
+
+Native cycles are counted per slot; dividing by the board clock gives
+the simulated wall time used by the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.control import ABI_CONT, ABI_NONE, ABI_PORT, NATIVE_CLOCK
+from ..core.pipeline import CompiledProgram
+from ..interp.simulator import Simulator
+from ..interp.systasks import TaskHost
+from ..verilog import ast_nodes as ast
+from .bitstream import Bitstream
+from .device import Device
+
+_MAX_FREERUN_CYCLES = 1_000_000
+
+
+class BoardError(Exception):
+    """Raised on protocol misuse (no design, unknown slot, runaway)."""
+
+
+@dataclass
+class EvalOutcome:
+    """Result of driving one slot: finished, or trapped on a task."""
+
+    status: str  # "done" | "trap"
+    task_id: int = 0
+    native_cycles: int = 0
+
+
+@dataclass
+class BatchOutcome:
+    """Result of a batched run: ticks completed before stop/trap."""
+
+    status: str  # "done" | "trap"
+    ticks_done: int = 0
+    task_id: int = 0
+    native_cycles_total: int = 0
+
+
+@dataclass
+class EngineSlot:
+    """One sub-program resident on the fabric."""
+
+    engine_id: int
+    program: CompiledProgram
+    sim: Simulator
+    native_cycles: int = 0
+    abi_ops: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.sim.get("__done") != 0
+
+    @property
+    def pending_task(self) -> int:
+        return self.sim.get("__task")
+
+
+class SimulatedBoard:
+    """A reconfigurable device executing transformed sub-programs."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.bitstream: Optional[Bitstream] = None
+        self.clock_hz: float = device.max_clock_hz
+        self.slots: Dict[int, EngineSlot] = {}
+        self.reconfigurations = 0
+        self.reconfig_seconds_total = 0.0
+
+    # -- (re)programming -------------------------------------------------------
+
+    def program(self, bitstream: Bitstream,
+                engines: Dict[int, CompiledProgram]) -> None:
+        """Load a design; destroys all current slot state (hence the
+        hypervisor's state-safe handshake before calling this)."""
+        self.slots.clear()
+        self.bitstream = bitstream
+        self.clock_hz = bitstream.clock_hz
+        self.reconfigurations += 1
+        self.reconfig_seconds_total += self.device.reconfig_seconds
+        for engine_id, program in engines.items():
+            # Each slot executes the transformed module; unsynthesizable
+            # behaviour only ever reaches hardware as task traps, so the
+            # slot's TaskHost must stay silent.
+            sim = Simulator(program.transform.module, TaskHost())
+            self.slots[engine_id] = EngineSlot(engine_id, program, sim)
+
+    def _slot(self, engine_id: int) -> EngineSlot:
+        try:
+            return self.slots[engine_id]
+        except KeyError:
+            raise BoardError(f"no engine slot {engine_id}") from None
+
+    # -- data plane ----------------------------------------------------------------
+
+    def set_var(self, engine_id: int, name: str, value: int) -> None:
+        slot = self._slot(engine_id)
+        slot.abi_ops += 1
+        slot.sim.set(name, value)
+        # A set message lands between native clock cycles: combinational
+        # logic (edge-detection wires included) settles before the next
+        # edge samples it.
+        slot.sim.step()
+
+    def get_var(self, engine_id: int, name: str) -> int:
+        slot = self._slot(engine_id)
+        slot.abi_ops += 1
+        return slot.sim.get(name)
+
+    def read_expr(self, engine_id: int, expr: ast.Expr) -> int:
+        """Evaluate a (synthesizable) expression against slot state.
+
+        Used by the runtime to fetch trap arguments — semantically a
+        bundle of ``get`` requests.
+        """
+        slot = self._slot(engine_id)
+        slot.abi_ops += 1
+        return slot.sim.evaluator.eval(expr)
+
+    def write_lvalue(self, engine_id: int, lhs: ast.Expr, value: int) -> None:
+        """Write a trap result back into slot state (a ``set``)."""
+        slot = self._slot(engine_id)
+        slot.abi_ops += 1
+        slot.sim.evaluator.assign(lhs, value)
+        slot.sim.step()
+
+    def snapshot(self, engine_id: int, names=None) -> Dict[str, object]:
+        """Bulk ``get``: capture slot program state."""
+        slot = self._slot(engine_id)
+        snap = slot.sim.store.snapshot(names)
+        slot.abi_ops += max(1, len(snap))
+        return snap
+
+    def restore(self, engine_id: int, snapshot: Dict[str, object]) -> None:
+        """Bulk ``set``: restore slot program state."""
+        slot = self._slot(engine_id)
+        slot.abi_ops += max(1, len(snapshot))
+        slot.sim.store.restore(snapshot)
+        slot.sim.step()
+
+    # -- control plane ------------------------------------------------------------------
+
+    def _drive(self, slot: EngineSlot, budget: int = _MAX_FREERUN_CYCLES) -> EvalOutcome:
+        cycles = 0
+        while True:
+            slot.sim.tick(NATIVE_CLOCK)
+            cycles += 1
+            slot.native_cycles += 1
+            task = slot.pending_task
+            if task:
+                return EvalOutcome("trap", task, cycles)
+            if slot.done:
+                return EvalOutcome("done", 0, cycles)
+            if cycles >= budget:
+                raise BoardError(
+                    f"engine {slot.engine_id} exceeded the free-run budget"
+                )
+
+    def evaluate(self, engine_id: int) -> EvalOutcome:
+        """Drive the native clock until the slot finishes or traps."""
+        slot = self._slot(engine_id)
+        if slot.pending_task:
+            raise BoardError("evaluate with a pending trap; call cont()")
+        return self._drive(slot)
+
+    def cont(self, engine_id: int) -> EvalOutcome:
+        """Grant continuation after a serviced trap and keep driving."""
+        slot = self._slot(engine_id)
+        slot.sim.set(ABI_PORT, ABI_CONT)
+        slot.sim.step()  # let the __cont wire settle before the edge
+        slot.sim.tick(NATIVE_CLOCK)
+        slot.native_cycles += 1
+        slot.sim.set(ABI_PORT, ABI_NONE)
+        slot.sim.step()
+        task = slot.pending_task
+        if task:
+            return EvalOutcome("trap", task, 1)
+        if slot.done:
+            return EvalOutcome("done", 0, 1)
+        outcome = self._drive(slot)
+        return EvalOutcome(outcome.status, outcome.task_id, outcome.native_cycles + 1)
+
+    def run_ticks(self, engine_id: int, clock: str, ticks: int) -> "BatchOutcome":
+        """Drive up to *ticks* virtual clock periods autonomously.
+
+        Models on-device virtual-clock generation: no host round trips
+        between ticks.  Returns early when a state machine traps; the
+        in-flight tick is then mid-rising-edge and the caller finishes
+        it through cont/evaluate.
+        """
+        slot = self._slot(engine_id)
+        start_cycles = slot.native_cycles
+        done = 0
+        while done < ticks:
+            slot.sim.set(clock, 1)
+            slot.sim.step()
+            outcome = self._drive(slot)
+            if outcome.status == "trap":
+                return BatchOutcome("trap", done, outcome.task_id,
+                                    slot.native_cycles - start_cycles)
+            slot.sim.set(clock, 0)
+            slot.sim.step()
+            outcome = self._drive(slot)
+            if outcome.status == "trap":
+                return BatchOutcome("trap", done, outcome.task_id,
+                                    slot.native_cycles - start_cycles)
+            done += 1
+        return BatchOutcome("done", done, 0, slot.native_cycles - start_cycles)
+
+    # -- accounting -------------------------------------------------------------------------
+
+    def slot_seconds(self, engine_id: int) -> float:
+        """Simulated wall time consumed by one slot's native cycles."""
+        slot = self._slot(engine_id)
+        return slot.native_cycles / self.clock_hz
+
+    def utilization(self) -> Dict[str, float]:
+        """Fractions of device resources used by the programmed design."""
+        if self.bitstream is None:
+            return {"luts": 0.0, "ffs": 0.0}
+        res = self.bitstream.resources
+        return {
+            "luts": res.luts / self.device.luts,
+            "ffs": res.ffs / self.device.ffs,
+        }

@@ -1,0 +1,65 @@
+"""Compilation cache (paper §5.1, §7).
+
+Synergy's backends rely on compilation caches to avoid waiting through
+recompilation on virtualization events.  Deterministic code generation
+(our printer) makes the cache key a simple digest of the generated
+Verilog plus the device name and synthesis options.
+
+The cache records hit/miss statistics so the cache ablation bench can
+report the latency it saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .bitstream import Bitstream
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    seconds_saved: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CompilationCache:
+    """Maps (device, options, text digest) → compiled bitstream."""
+
+    def __init__(self):
+        self._entries: Dict[Tuple[str, str, str], Bitstream] = {}
+        self.stats = CacheStats()
+
+    @staticmethod
+    def _key(device_name: str, options_key: str, digest: str) -> Tuple[str, str, str]:
+        return (device_name, options_key, digest)
+
+    def lookup(self, device_name: str, options_key: str, digest: str) -> Optional[Bitstream]:
+        entry = self._entries.get(self._key(device_name, options_key, digest))
+        if entry is not None:
+            self.stats.hits += 1
+            self.stats.seconds_saved += entry.compile_seconds
+        else:
+            self.stats.misses += 1
+        return entry
+
+    def lookup_quiet(self, device_name: str, options_key: str,
+                     digest: str) -> Optional[Bitstream]:
+        """Peek without perturbing hit/miss statistics (speculation)."""
+        return self._entries.get(self._key(device_name, options_key, digest))
+
+    def insert(self, device_name: str, options_key: str, bitstream: Bitstream) -> None:
+        self._entries[self._key(device_name, options_key, bitstream.digest)] = bitstream
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,130 @@
+"""Device models for the simulated reconfigurable fabric.
+
+The paper evaluates on two real platforms; we model both with the same
+knobs the experiments exercise (§6):
+
+* **DE10** — Terasic DE10-Nano SoC: Intel Cyclone V, 110K LUTs, 50 MHz
+  fabric clock, ARM host, Avalon memory-mapped IO.
+* **F1** — AWS EC2 F1: Xilinx UltraScale+ VU9P, ~10× the LUTs and 5× the
+  clock of the DE10, PCIe host attach, longer reconfiguration.
+
+``Device`` instances are immutable specs; the mutable execution object
+is :class:`repro.fabric.board.SimulatedBoard`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class Device:
+    """Static description of one FPGA target."""
+
+    name: str
+    family: str
+    luts: int
+    ffs: int
+    bram_kbits: int
+    max_clock_hz: float
+    #: Discrete clock steps the build scripts walk down when a design
+    #: misses timing (§5.2's iterative frequency reduction).
+    clock_steps_hz: Tuple[float, ...]
+    #: Seconds to reprogram the whole fabric with a new bitstream.
+    reconfig_seconds: float
+    #: Latency of one ABI request over the host link (get/set/etc.).
+    abi_latency_s: float
+    #: Effective combinational delay per logic level (ns) — calibrated so
+    #: the paper's benchmarks land near their reported frequencies.
+    lut_delay_ns: float
+    #: Baseline seconds for a full synthesis+place+route run.
+    compile_seconds: float
+    #: Interface used by the backend (reporting only).
+    host_interface: str = "mmio"
+
+    def achievable_hz(self, logic_levels: int) -> float:
+        """Raw frequency the critical path supports (before stepping)."""
+        if logic_levels <= 0:
+            return self.max_clock_hz
+        raw = 1e9 / (logic_levels * self.lut_delay_ns)
+        return min(self.max_clock_hz, raw)
+
+    #: Closure margin: builds within this fraction of a clock step are
+    #: pushed through with extra P&R effort (the iteratively re-run,
+    #: data-preserving builds of Synergy's build scripts, §5.2).
+    CLOSE_MARGIN = 0.05
+
+    def closed_hz(self, logic_levels: int) -> float:
+        """Largest supported clock step within reach of the raw frequency."""
+        raw = self.achievable_hz(logic_levels) * (1.0 + self.CLOSE_MARGIN)
+        for step in self.clock_steps_hz:
+            if step <= raw + 1e-6:
+                return step
+        return self.clock_steps_hz[-1]
+
+    def fits(self, luts: int, ffs: int) -> bool:
+        return luts <= self.luts and ffs <= self.ffs
+
+
+#: Terasic DE10-Nano (Intel Cyclone V SE, §6's first platform).
+DE10 = Device(
+    name="de10",
+    family="cyclone-v",
+    luts=110_000,
+    ffs=220_000,
+    bram_kbits=5_570,
+    max_clock_hz=50e6,
+    clock_steps_hz=(50e6, 25e6, 12.5e6, 6.25e6),
+    reconfig_seconds=1.2,
+    abi_latency_s=3e-7,       # Avalon MM single-word access
+    lut_delay_ns=1.0,
+    compile_seconds=20 * 60,  # Quartus Lite, per the artifact appendix
+    host_interface="avalon-mm",
+)
+
+#: AWS F1 (Xilinx UltraScale+ VU9P): 10x the LUTs, 5x the clock (§5.2).
+F1 = Device(
+    name="f1",
+    family="ultrascale-plus",
+    luts=1_100_000,
+    ffs=2_200_000,
+    bram_kbits=75_900,
+    max_clock_hz=250e6,
+    clock_steps_hz=(250e6, 125e6, 62.5e6, 31.25e6),
+    reconfig_seconds=4.0,
+    abi_latency_s=1e-6,       # PCIe round trip
+    lut_delay_ns=0.45,
+    compile_seconds=2 * 3600,  # Vivado, per the artifact appendix
+    host_interface="pcie",
+)
+
+#: Intel Stratix 10 SoC — §5.1: the Intel backend "describes a range of
+#: targets, including the high-performance Stratix 10"; same Avalon-MM
+#: interface as the DE10, data-center-class fabric.
+STRATIX10 = Device(
+    name="stratix10",
+    family="stratix-10",
+    luts=933_000,
+    ffs=1_866_000,
+    bram_kbits=112_000,
+    max_clock_hz=300e6,
+    clock_steps_hz=(300e6, 150e6, 75e6, 37.5e6),
+    reconfig_seconds=2.5,
+    abi_latency_s=4e-7,       # Avalon MM through the hard ARM complex
+    lut_delay_ns=0.5,
+    compile_seconds=3 * 3600,  # full Quartus Prime Pro flow
+    host_interface="avalon-mm",
+)
+
+DEVICES = {device.name: device for device in (DE10, F1, STRATIX10)}
+
+
+def device_by_name(name: str) -> Device:
+    """Look up a built-in device model."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,32 @@
+"""Experiment harness: one runner per paper table/figure."""
+
+from .common import (
+    ExperimentResult, bench_program, bench_source_kwargs, bench_vfs,
+    hw_profile, sw_profile,
+)
+from . import table1, fig09_suspend_resume, fig10_migration, fig11_temporal
+from . import fig12_spatial, grid, sec64_overheads, ablations
+
+__all__ = [
+    "ExperimentResult", "bench_program", "bench_source_kwargs", "bench_vfs",
+    "hw_profile", "sw_profile",
+    "table1", "fig09_suspend_resume", "fig10_migration", "fig11_temporal",
+    "fig12_spatial", "grid", "sec64_overheads", "ablations",
+]
+
+
+def run_all() -> str:
+    """Regenerate every table and figure; returns the full report."""
+    parts = [
+        table1.run().render(),
+        fig09_suspend_resume.run().render(),
+        fig10_migration.run().render(),
+        fig11_temporal.run().render(),
+        fig12_spatial.run().render(),
+        grid.fig13_ff().render(),
+        grid.fig14_lut().render(),
+        grid.fig15_freq().render(),
+        grid.sec63_quiescence().render(),
+        sec64_overheads.run().render(),
+    ]
+    return "\n\n".join(parts)

@@ -1,0 +1,130 @@
+"""Shared plumbing for the experiment harness.
+
+Each ``figXX``/``secXX`` module measures the real mechanisms (traps,
+state capture, reprogramming, coalescing) at a scaled tick count and
+lays the measured rates onto the paper's event schedule.  This module
+holds the common pieces: benchmark program construction with input
+files, profile caching (hardware profiling is interpreter-heavy), and
+result containers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..bench import BENCHMARKS, adpcm, bitcoin, datagen, df, mips32, nw, regex
+from ..core.pipeline import CompiledProgram, compile_program
+from ..fabric.device import DE10, F1, Device
+from ..interp.vfs import VirtualFS
+from ..perf.model import HwProfile, SwProfile, profile_hardware, profile_software
+from ..perf.timeline import Series
+
+_PROGRAM_CACHE: Dict[Tuple[str, bool], CompiledProgram] = {}
+_HW_PROFILE_CACHE: Dict[Tuple[str, str, int], HwProfile] = {}
+_SW_PROFILE_CACHE: Dict[Tuple[str, int], SwProfile] = {}
+
+
+def bench_program(name: str, quiescence: bool = False,
+                  **source_kwargs) -> CompiledProgram:
+    """Compile one Table 1 benchmark through the full Synergy pipeline."""
+    key = (name, quiescence)
+    if not source_kwargs and key in _PROGRAM_CACHE:
+        return _PROGRAM_CACHE[key]
+    source = BENCHMARKS[name].source(quiescence=quiescence, **source_kwargs)
+    program = compile_program(source)
+    if not source_kwargs:
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
+def bench_vfs(name: str, scale: int = 1 << 16) -> VirtualFS:
+    """A virtual filesystem pre-loaded with the benchmark's input."""
+    vfs = VirtualFS()
+    if name == "regex":
+        vfs.add_file(regex.INPUT_PATH, datagen.regex_text(scale).encode())
+    elif name == "nw":
+        vfs.add_file(nw.INPUT_PATH, datagen.nw_pairs(scale // (2 * nw.TILE)))
+    elif name == "adpcm":
+        vfs.add_file(adpcm.INPUT_PATH,
+                     datagen.pack_u16(datagen.adpcm_samples(scale // 2)))
+    return vfs
+
+
+def bench_source_kwargs(name: str) -> dict:
+    """Workload-size overrides so profiling runs never hit $finish."""
+    if name == "bitcoin":
+        return {"target": 1}        # unreachable target: mine forever
+    if name == "df":
+        return {"iters": 1 << 30}   # effectively unbounded
+    return {}
+
+
+def hw_profile(name: str, device: Device, ticks: int = 48) -> HwProfile:
+    """Measured hardware profile for one benchmark (memoized)."""
+    key = (name, device.name, ticks)
+    if key in _HW_PROFILE_CACHE:
+        return _HW_PROFILE_CACHE[key]
+    program = bench_program(name, **bench_source_kwargs(name))
+    profile = profile_hardware(program, device, ticks=ticks,
+                               vfs=bench_vfs(name))
+    _HW_PROFILE_CACHE[key] = profile
+    return profile
+
+
+def sw_profile(name: str, ticks: int = 8) -> SwProfile:
+    """Measured software-interpreter profile (memoized)."""
+    key = (name, ticks)
+    if key in _SW_PROFILE_CACHE:
+        return _SW_PROFILE_CACHE[key]
+    program = bench_program(name, **bench_source_kwargs(name))
+    profile = profile_software(program, ticks=ticks, vfs=bench_vfs(name))
+    _SW_PROFILE_CACHE[key] = profile
+    return profile
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure: series and/or rows plus notes."""
+
+    name: str
+    title: str
+    series: List[Series] = field(default_factory=list)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def row_table(self) -> str:
+        if not self.rows:
+            return ""
+        columns = list(self.rows[0].keys())
+        widths = {
+            c: max(len(str(c)), *(len(_fmt(r.get(c))) for r in self.rows))
+            for c in columns
+        }
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        lines = [header, "  ".join("-" * widths[c] for c in columns)]
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        from ..perf.timeline import format_series
+
+        parts = [f"== {self.name}: {self.title} =="]
+        if self.rows:
+            parts.append(self.row_table())
+        if self.series:
+            parts.append(format_series(self.series))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

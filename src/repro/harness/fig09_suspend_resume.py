@@ -1,0 +1,86 @@
+"""Figure 9 — Suspend and Resume.
+
+``bitcoin`` is executed on a DE10 target, suspended mid-execution via
+``$save``, and later resumed on F1 via ``$restart``.  The paper's
+schedule: software start, hardware at t≈5 (16M nonces/s on the DE10),
+a save signal at t=15 with a throughput dip while the runtime
+evacuates state, steady state again by t≈22, termination at t=30; a
+new instance on F1 at t=39, restart at t=50 with a deeper dip (longer
+reconfiguration), then the higher F1 peak (83M).
+
+The rates and dip widths below are *measured*: hardware throughput from
+cycle-accounted execution of the transformed miner on each device
+model, software throughput from the interpreter, and dip durations from
+the :class:`TransitionCosts` latency model fed with the program's real
+captured-state size.  The schedule (when the operator sends signals) is
+the paper's.
+"""
+
+from __future__ import annotations
+
+from ..fabric.device import DE10, F1
+from ..perf.timeline import Series
+from ..runtime.jit import TransitionCosts
+from .common import ExperimentResult, bench_program, bench_source_kwargs, hw_profile, sw_profile
+
+# The paper's operator schedule (seconds of wall time).
+T_TO_HW = 5.0
+T_SAVE = 15.0
+T_TERMINATE = 30.0
+T_F1_START = 39.0
+T_RESTART = 50.0
+T_END = 70.0
+
+
+def run(ticks: int = 48) -> ExperimentResult:
+    program = bench_program("bitcoin", **bench_source_kwargs("bitcoin"))
+    costs = TransitionCosts()
+    state_bits = program.state.total_bits
+
+    sw_rate = sw_profile("bitcoin").virtual_hz
+    de10_rate = hw_profile("bitcoin", DE10, ticks).virtual_hz
+    f1_rate = hw_profile("bitcoin", F1, ticks).virtual_hz
+
+    save_window = costs.save_seconds(state_bits)
+    restore_window = costs.restore_seconds(state_bits, F1.reconfig_seconds)
+
+    de10_series = (
+        Series("de10", "hashes/s")
+        .phase(0.0, T_TO_HW, sw_rate)
+        .phase(T_TO_HW, T_SAVE, de10_rate)
+        .phase(T_SAVE, T_SAVE + save_window, sw_rate)
+        .phase(T_SAVE + save_window, T_TERMINATE, de10_rate)
+    )
+    f1_series = (
+        Series("f1", "hashes/s")
+        .phase(T_F1_START, T_F1_START + 2.0, sw_rate)
+        .phase(T_F1_START + 2.0, T_RESTART, f1_rate)
+        .phase(T_RESTART, T_RESTART + restore_window, sw_rate)
+        .phase(T_RESTART + restore_window, T_END, f1_rate)
+    )
+
+    result = ExperimentResult(
+        "Figure 9", "Suspend and Resume (bitcoin, DE10 -> F1)",
+        series=[de10_series, f1_series],
+    )
+    result.rows = [
+        {"phase": "de10 hardware", "hashes/s": de10_rate},
+        {"phase": "f1 hardware", "hashes/s": f1_rate},
+        {"phase": "software", "hashes/s": sw_rate},
+        {"phase": "save window (s)", "hashes/s": save_window},
+        {"phase": "restore window (s)", "hashes/s": restore_window},
+    ]
+    result.notes = [
+        f"state captured for migration: {state_bits} bits",
+        "paper peaks: 16M (DE10), 83M (F1); restore dip wider than save "
+        "dip because F1 reconfiguration is slower",
+    ]
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Figure 10 — Hardware Migration.
+
+``mips32`` begins execution on one target and is migrated mid-execution
+to another: one context runs on a cluster of DE10s (peak 14M
+instructions/s in the paper), one between F1 instances (41M).  At t=15
+both contexts evaluate ``$save``/``$restart`` and move between FPGAs;
+performance returns to peak by t≈20.
+
+The migration dip is much more pronounced for mips32 than for bitcoin
+(Figure 9) because its architectural state — registers, data memory,
+and instruction memory — is large, and every bit crosses the
+get/set data plane.  The dip widths below come from the same
+:class:`TransitionCosts` model fed with each program's real state size,
+so this comparison is measured, not scripted.
+"""
+
+from __future__ import annotations
+
+from ..fabric.device import DE10, F1, Device
+from ..perf.timeline import Series
+from ..runtime.jit import TransitionCosts
+from .common import ExperimentResult, bench_program, bench_source_kwargs, hw_profile, sw_profile
+
+T_TO_HW = {"de10": 2.0, "f1": 4.0}
+T_MIGRATE = 15.0
+T_END = 30.0
+
+
+def migration_series(name: str, device: Device, label: str,
+                     ticks: int = 48) -> Series:
+    """Throughput series for one same-device-pair migration."""
+    costs = TransitionCosts()
+    program = bench_program(name, **bench_source_kwargs(name))
+    bits = program.state.total_bits
+    sw_rate = sw_profile(name).virtual_hz
+    hw_rate = hw_profile(name, device, ticks).virtual_hz
+    window = (costs.save_seconds(bits)
+              + costs.restore_seconds(bits, device.reconfig_seconds))
+    t_up = T_TO_HW[device.name]
+    return (
+        Series(label, "instructions/s")
+        .phase(0.0, t_up, sw_rate)
+        .phase(t_up, T_MIGRATE, hw_rate)
+        .phase(T_MIGRATE, T_MIGRATE + window, sw_rate)
+        .phase(T_MIGRATE + window, T_END, hw_rate)
+    )
+
+
+def run(ticks: int = 48) -> ExperimentResult:
+    program = bench_program("mips32")
+    bitcoin_program = bench_program("bitcoin", **bench_source_kwargs("bitcoin"))
+    costs = TransitionCosts()
+
+    de10 = migration_series("mips32", DE10, "de10", ticks)
+    f1 = migration_series("mips32", F1, "f1", ticks)
+
+    mips_bits = program.state.total_bits
+    bitcoin_bits = bitcoin_program.state.total_bits
+    mips_window = costs.save_seconds(mips_bits) + costs.restore_seconds(
+        mips_bits, F1.reconfig_seconds
+    )
+    bitcoin_window = costs.save_seconds(bitcoin_bits) + costs.restore_seconds(
+        bitcoin_bits, F1.reconfig_seconds
+    )
+
+    result = ExperimentResult(
+        "Figure 10", "Hardware Migration (mips32, DE10->DE10 and F1->F1)",
+        series=[de10, f1],
+    )
+    result.rows = [
+        {"metric": "de10 peak instr/s", "value": hw_profile("mips32", DE10, ticks).virtual_hz},
+        {"metric": "f1 peak instr/s", "value": hw_profile("mips32", F1, ticks).virtual_hz},
+        {"metric": "mips32 state bits", "value": mips_bits},
+        {"metric": "bitcoin state bits", "value": bitcoin_bits},
+        {"metric": "mips32 migration window (s)", "value": mips_window},
+        {"metric": "bitcoin migration window (s)", "value": bitcoin_window},
+    ]
+    result.notes = [
+        "paper peaks: 14M (DE10), 41M (F1)",
+        "mips32's dip is deeper/wider than bitcoin's because its state "
+        "(registers + data memory + instruction memory) is "
+        f"{mips_bits / bitcoin_bits:.1f}x larger",
+    ]
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

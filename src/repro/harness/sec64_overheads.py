@@ -1,0 +1,78 @@
+"""§6.4 — Overheads: the 3× execution floor and the anti-congestion ablation.
+
+Two findings:
+
+1. Implementing the original program's semantics with mid-tick pause
+   support takes a minimum of 3 native cycles per virtual clock cycle
+   (toggle, evaluate, latch) — we *measure* this from cycle-accounted
+   execution of every benchmark.  Combined with the frequency results,
+   overall execution overhead lands within 3–4× of native.
+
+2. Compiling adpcm and nw with an anti-congestion strategy improved
+   their frequencies by ~47% under Synergy (23–37% with quiescence);
+   applying the same strategy to nw under AOS gave only 26%.
+"""
+
+from __future__ import annotations
+
+from ..bench import BENCHMARKS
+from ..fabric.device import F1
+from .common import ExperimentResult, hw_profile
+from .grid import compile_cell
+
+
+def run(ticks: int = 32) -> ExperimentResult:
+    result = ExperimentResult(
+        "Section 6.4", "Execution and compilation overheads"
+    )
+    for bench in BENCHMARKS:
+        profile = hw_profile(bench, F1, ticks)
+        native_hz = F1.max_clock_hz
+        virtual = profile.clock_hz / profile.cycles_per_tick
+        result.rows.append({
+            "bench": bench,
+            "cycles/tick": profile.cycles_per_tick,
+            "traps/tick": profile.traps_per_tick,
+            "virt MHz": virtual / 1e6,
+            "native/virt": native_hz / virtual,
+        })
+
+    for bench in ("adpcm", "nw"):
+        plain = compile_cell(bench, "synergy", F1, anti_congestion=False)
+        tuned = compile_cell(bench, "synergy", F1, anti_congestion=True)
+        plain_q = compile_cell(bench, "synergy-q", F1, anti_congestion=False)
+        tuned_q = compile_cell(bench, "synergy-q", F1, anti_congestion=True)
+        result.rows.append({
+            "bench": f"{bench} anti-congestion",
+            "cycles/tick": "-",
+            "traps/tick": "-",
+            "virt MHz": tuned.achieved_hz / 1e6,
+            "native/virt": (
+                f"+{(tuned.achieved_hz / plain.achieved_hz - 1) * 100:.0f}% "
+                f"(+{(tuned_q.achieved_hz / plain_q.achieved_hz - 1) * 100:.0f}% w/ quiescence)"
+            ),
+        })
+    nat = compile_cell("nw", "aos", F1, anti_congestion=False)
+    nat_t = compile_cell("nw", "aos", F1, anti_congestion=True)
+    result.rows.append({
+        "bench": "nw AOS anti-congestion",
+        "cycles/tick": "-",
+        "traps/tick": "-",
+        "virt MHz": nat_t.achieved_hz / 1e6,
+        "native/virt": f"+{(nat_t.achieved_hz / nat.achieved_hz - 1) * 100:.0f}%",
+    })
+    result.notes = [
+        "minimum 3 cycles per virtual tick: toggle, evaluate, latch in "
+        "separate hardware cycles (measured above)",
+        "paper: anti-congestion improved adpcm/nw by 47% (23-37% with "
+        "quiescence annotations); nw under AOS improved only 26%",
+    ]
+    return result
+
+
+def main() -> None:
+    print(run().render())
+
+
+if __name__ == "__main__":
+    main()

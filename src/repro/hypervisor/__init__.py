@@ -1,0 +1,17 @@
+"""Synergy hypervisor: coalescing, scheduling, handshake, migration."""
+
+from .engine_table import EngineRecord, EngineTable
+from .coalesce import CoalescedDesign, coalesce, engine_module_name
+from .scheduler import AbiSerializer, IoStream, RoundRobinIoScheduler
+from .handshake import HANDSHAKE_BANDWIDTH_BITS_S, HandshakeReport, state_safe_reprogram
+from .hypervisor import CapacityError, Hypervisor, HypervisorClient
+from .migration import MigrationReport, migrate, resume, suspend
+
+__all__ = [
+    "EngineRecord", "EngineTable",
+    "CoalescedDesign", "coalesce", "engine_module_name",
+    "AbiSerializer", "IoStream", "RoundRobinIoScheduler",
+    "HANDSHAKE_BANDWIDTH_BITS_S", "HandshakeReport", "state_safe_reprogram",
+    "CapacityError", "Hypervisor", "HypervisorClient",
+    "MigrationReport", "migrate", "resume", "suspend",
+]

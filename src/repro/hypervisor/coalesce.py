@@ -1,0 +1,124 @@
+"""Program coalescing: many sub-programs, one monolithic design (§4.1).
+
+The hypervisor's compiler has access to the source of every sub-program
+in every connected instance, which is what makes language-level
+multitenancy possible: the text of each transformed sub-program is
+placed in a module named after its hypervisor identifier, the combined
+program concatenates them, and ABI requests route by identifier.
+
+Coalescing is also where Figure 12's clock coupling comes from: the
+combined design closes timing as a whole, so one slow application
+(adpcm) can drag the global clock — and every co-resident's virtual
+frequency — down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.pipeline import CompiledProgram
+from ..fabric.bitstream import text_digest
+from ..fabric.device import Device
+from ..fabric.synth import ResourceEstimate, SynthOptions, Synthesizer
+from ..runtime.backends import synth_options_for
+from ..verilog.printer import print_module
+
+
+def engine_module_name(engine_id: int) -> str:
+    """Deterministic module name for one sub-program in the design."""
+    return f"__synergy_engine_{engine_id}"
+
+
+@dataclass
+class CoalescedDesign:
+    """The combined program for one reprogramming epoch."""
+
+    text: str
+    digest: str
+    resources: ResourceEstimate
+    clock_hz: float
+    engine_programs: Dict[int, CompiledProgram] = field(default_factory=dict)
+    per_engine_levels: Dict[int, int] = field(default_factory=dict)
+    #: Per-engine closed clocks when the design uses clock domains
+    #: (Figure 12's future work); empty for a single global clock.
+    engine_clocks_hz: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def engine_ids(self) -> List[int]:
+        return sorted(self.engine_programs)
+
+    def clock_for(self, engine_id: int) -> float:
+        return self.engine_clocks_hz.get(engine_id, self.clock_hz)
+
+
+#: Router/interconnect cost per engine (LUTs for ABI request steering).
+ROUTER_LUTS_PER_ENGINE = 220
+ROUTER_FFS_PER_ENGINE = 96
+#: Congestion: each additional co-resident deepens the critical path a
+#: little (shared interconnect, placement pressure).
+CONGESTION_LEVELS_PER_ENGINE = 1
+#: Clock-domain crossing logic per engine (async FIFOs, synchronizers)
+#: when the design runs each application in its own domain.
+CDC_LUTS_PER_ENGINE = 140
+CDC_FFS_PER_ENGINE = 180
+
+
+def coalesce(programs: Dict[int, CompiledProgram], device: Device,
+             anti_congestion: bool = False,
+             clock_domains: bool = False) -> CoalescedDesign:
+    """Combine the transformed modules of *programs* into one design.
+
+    With ``clock_domains=True`` (the Figure 12 future-work fix), each
+    sub-program closes timing in its own clock domain and pays for
+    clock-crossing logic, so a slow arrival (adpcm) no longer drags
+    every co-resident's clock down.
+    """
+    parts: List[str] = []
+    total = ResourceEstimate()
+    levels: Dict[int, int] = {}
+    for engine_id in sorted(programs):
+        program = programs[engine_id]
+        # Each sub-program is wrapped in a module named after its
+        # hypervisor identifier; the text is the cache-key payload.
+        renamed = program.transform.module
+        header = f"// engine {engine_id}: {program.name}\n"
+        body = print_module(renamed).replace(
+            f"module {renamed.name}(", f"module {engine_module_name(engine_id)}(", 1
+        )
+        parts.append(header + body)
+        options = synth_options_for(program, anti_congestion)
+        est = Synthesizer(options).estimate(renamed, program.env)
+        levels[engine_id] = est.logic_levels
+        total.luts += est.luts
+        total.ffs += est.ffs
+        total.bram_bits += est.bram_bits
+    count = len(programs)
+    total.luts += ROUTER_LUTS_PER_ENGINE * count
+    total.ffs += ROUTER_FFS_PER_ENGINE * count
+    congestion = CONGESTION_LEVELS_PER_ENGINE * max(0, count - 1)
+    engine_clocks: Dict[int, float] = {}
+    if clock_domains and programs:
+        # Each engine closes timing in its own placement region: the
+        # CDC interfaces decouple it from co-residents' congestion, so
+        # per-domain closure sees only the engine's own path.
+        total.luts += CDC_LUTS_PER_ENGINE * count
+        total.ffs += CDC_FFS_PER_ENGINE * count
+        for engine_id, engine_levels in levels.items():
+            engine_clocks[engine_id] = device.closed_hz(engine_levels)
+        total.logic_levels = max(levels.values()) + congestion
+        clock = max(engine_clocks.values())
+    else:
+        total.logic_levels = max(levels.values(), default=1) + congestion
+        clock = device.closed_hz(total.logic_levels)
+    text = "\n".join(parts) if parts else "// empty design\n"
+    domain_tag = "cdc" if clock_domains else "global"
+    return CoalescedDesign(
+        text=text,
+        digest=text_digest(text + device.name + domain_tag),
+        resources=total,
+        clock_hz=clock,
+        engine_programs=dict(programs),
+        per_engine_levels=levels,
+        engine_clocks_hz=engine_clocks,
+    )

@@ -1,0 +1,328 @@
+"""The Synergy hypervisor (paper §4, Figure 6).
+
+An indirection layer that lets multiple runtime instances share one
+compiler and one device.  A runtime's compiler connects, sends the
+source of a sub-program, and receives a unique engine identifier; the
+instance-side engine simply forwards ABI requests over the connection.
+The hypervisor's compiler coalesces every connected sub-program into a
+single monolithic design, recompiles on membership changes behind the
+Figure 7 state-safe handshake, serializes ABI requests, and — when its
+device is full — can delegate sub-programs to a *second* hypervisor
+(the virtualization layer nests, §4.1 step 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..amorphos.hull import Hull, ProtectionError
+from ..amorphos.morphlet import ProtectionDomain
+from ..core.pipeline import CompiledProgram
+from ..fabric.bitstream import Bitstream, BitstreamCompiler
+from ..fabric.board import SimulatedBoard
+from ..fabric.cache import CompilationCache
+from ..fabric.device import Device
+from ..fabric.synth import SynthOptions, Synthesizer
+from ..runtime.abi import (
+    AbiChannel, BatchReply, Cont, Evaluate, Get, Message, ReadExpr,
+    Restore, RunTicks, Set, Snapshot, TrapReply, Update, WriteLval,
+)
+from ..runtime.backends import Placement, synth_options_for
+from .coalesce import CoalescedDesign, coalesce
+from .engine_table import EngineRecord, EngineTable
+from .handshake import HandshakeReport, state_safe_reprogram
+from .scheduler import AbiSerializer, RoundRobinIoScheduler
+
+
+class CapacityError(Exception):
+    """The device cannot host the combined design and no parent exists."""
+
+
+class Hypervisor:
+    """Multi-tenant virtualization layer over one simulated device."""
+
+    def __init__(self, device: Device, cache: Optional[CompilationCache] = None,
+                 use_hull: bool = True, parent: Optional["Hypervisor"] = None,
+                 network_latency_s: float = 5e-5,
+                 anti_congestion: bool = False,
+                 clock_domains: bool = False):
+        self.device = device
+        self.board = SimulatedBoard(device)
+        self.cache = cache if cache is not None else CompilationCache()
+        self.hull = Hull(device) if use_hull else None
+        self.parent = parent
+        self.network_latency_s = network_latency_s
+        self.anti_congestion = anti_congestion
+        #: Run each application in its own clock domain (Figure 12's
+        #: future-work fix): arrivals no longer slow co-residents down,
+        #: at the cost of clock-crossing logic.
+        self.clock_domains = clock_domains
+        #: Optional background compilation of likely-next designs (§7's
+        #: speculative compilation); armed via enable_speculation().
+        self.speculator = None
+
+        self.table = EngineTable()
+        self.io_scheduler = RoundRobinIoScheduler()
+        self.serializer = AbiSerializer()
+        self.design: Optional[CoalescedDesign] = None
+        self.handshakes: List[HandshakeReport] = []
+        #: Engines delegated to the parent hypervisor: local id → remote id.
+        self._remote: Dict[int, Tuple["Hypervisor", int]] = {}
+
+    # -- connections -----------------------------------------------------------
+
+    def connect(self, instance: str,
+                domain: Optional[ProtectionDomain] = None) -> "HypervisorClient":
+        """Accept a runtime instance; returns its private client backend."""
+        return HypervisorClient(self, instance,
+                                domain or ProtectionDomain(instance))
+
+    @property
+    def clock_hz(self) -> float:
+        """The current global clock of the combined design (Figure 12)."""
+        if self.design is None:
+            return self.device.max_clock_hz
+        return self.design.clock_hz
+
+    # -- placement --------------------------------------------------------------
+
+    def place_subprogram(self, instance: str, domain: ProtectionDomain,
+                         program: CompiledProgram) -> Placement:
+        """Admit a sub-program: coalesce, compile, state-safe reprogram."""
+        record = self.table.register(instance, domain, program)
+        programs = {rec.engine_id: rec.program for rec in self.table.active
+                    if rec.engine_id not in self._remote}
+        design = coalesce(programs, self.device, self.anti_congestion,
+                          self.clock_domains)
+
+        if not self.device.fits(design.resources.luts, design.resources.ffs):
+            # The device is full: delegate this sub-program to the
+            # parent hypervisor (nesting) rather than reject it.
+            if self.parent is None:
+                self.table.retire(record.engine_id)
+                self.table.sweep()
+                raise CapacityError(
+                    f"design needs {design.resources.luts} LUTs; device "
+                    f"{self.device.name} has {self.device.luts} and no parent"
+                )
+            remote = self.parent.place_subprogram(instance, domain, program)
+            self._remote[record.engine_id] = (self.parent, remote.engine_id)
+            return Placement(
+                engine_id=record.engine_id,
+                clock_hz=remote.clock_hz,
+                compile_seconds=remote.compile_seconds,
+                reconfig_seconds=remote.reconfig_seconds,
+                cache_hit=remote.cache_hit,
+                bitstream=remote.bitstream,
+            )
+
+        if self.hull is not None:
+            from ..verilog.width import WidthEnv
+
+            options = synth_options_for(program, self.anti_congestion)
+            est = Synthesizer(options).estimate(
+                program.transform.module, WidthEnv(program.transform.module)
+            )
+            record.morphlet = self.hull.load(domain, program, est)
+
+        bitstream, compile_seconds, cache_hit = self._compile(design)
+        report = self._reprogram(bitstream, design)
+        return Placement(
+            engine_id=record.engine_id,
+            clock_hz=design.clock_for(record.engine_id),
+            compile_seconds=compile_seconds + report.transfer_seconds,
+            reconfig_seconds=report.reconfig_seconds,
+            cache_hit=cache_hit,
+            bitstream=bitstream,
+        )
+
+    def _make_bitstream(self, design: CoalescedDesign) -> Bitstream:
+        compiler = BitstreamCompiler(self.device, SynthOptions())
+        return Bitstream(
+            digest=design.digest,
+            device_name=self.device.name,
+            resources=design.resources,
+            clock_hz=design.clock_hz,
+            compile_seconds=compiler.compile_latency(design.resources),
+        )
+
+    def _compile(self, design: CoalescedDesign) -> Tuple[Bitstream, float, bool]:
+        cached = self.cache.lookup(self.device.name, "hypervisor", design.digest)
+        if cached is not None:
+            return cached, 0.0, True
+        bitstream = self._make_bitstream(design)
+        self.cache.insert(self.device.name, "hypervisor", bitstream)
+        return bitstream, bitstream.compile_seconds, False
+
+    # -- speculative compilation (§7 future work) -----------------------------
+
+    def enable_speculation(self, parallelism: int = 2) -> None:
+        from ..fabric.speculative import SpeculativeCompiler
+
+        self.speculator = SpeculativeCompiler(
+            self.cache, self.device.name, "hypervisor", parallelism
+        )
+
+    def speculate_departures(self, now: float) -> int:
+        """Queue background builds for every single-tenant departure.
+
+        Called by the deployment layer with its wall clock after each
+        epoch; finished builds land in the compilation cache via
+        ``self.speculator.settle(now)``.
+        """
+        if self.design is None or self.speculator is None:
+            return 0
+        queued = 0
+        for engine_id in self.design.engine_ids:
+            programs = {
+                eid: prog
+                for eid, prog in self.design.engine_programs.items()
+                if eid != engine_id
+            }
+            if not programs:
+                continue
+            candidate = coalesce(programs, self.device, self.anti_congestion,
+                                 self.clock_domains)
+            self.speculator.enqueue(
+                self._make_bitstream(candidate), now,
+                reason=f"departure of engine {engine_id}",
+            )
+            queued += 1
+        return queued
+
+    def _reprogram(self, bitstream: Bitstream, design: CoalescedDesign) -> HandshakeReport:
+        capture_sets: Dict[int, List[str]] = {}
+        for rec in self.table.active:
+            if rec.program.state.uses_yield:
+                capture_sets[rec.engine_id] = rec.program.state.captured_names()
+        report = state_safe_reprogram(
+            self.board, bitstream, design.engine_programs, capture_sets
+        )
+        self.design = design
+        self.handshakes.append(report)
+        return report
+
+    def finish_instance(self, engine_id: int) -> None:
+        """Flag an engine for removal; it disappears at the next epoch."""
+        remote = self._remote.pop(engine_id, None)
+        if remote is not None:
+            parent, remote_id = remote
+            parent.finish_instance(remote_id)
+        if engine_id in self.table:
+            record = self.table.lookup(engine_id)
+            if self.hull is not None and record.morphlet is not None:
+                self.hull.unload(record.domain, record.morphlet.morphlet_id)
+            self.table.retire(engine_id)
+        self.io_scheduler.unregister(engine_id)
+        # Recompile without the retired sub-program (flag-and-sweep, §4.1).
+        survivors = self.table.sweep()
+        programs = {rec.engine_id: rec.program for rec in survivors
+                    if rec.engine_id not in self._remote}
+        if programs:
+            design = coalesce(programs, self.device, self.anti_congestion,
+                              self.clock_domains)
+            bitstream, _, _ = self._compile(design)
+            self._reprogram(bitstream, design)
+        else:
+            self.design = None
+            self.board.slots.clear()
+
+    # -- the ABI surface (AbiTarget) ------------------------------------------------
+
+    def channel(self, engine_id: int) -> AbiChannel:
+        latency = self.device.abi_latency_s + self.network_latency_s
+
+        def current() -> float:
+            # Contention on the shared IO path stretches every message
+            # this engine exchanges with the hypervisor (§4.3).
+            extra = 0.0
+            if engine_id in self.io_scheduler._streams:
+                extra = self.io_scheduler.extra_wait(engine_id)
+            return latency + extra
+
+        return AbiChannel(self, engine_id, current)
+
+    def handle(self, engine_id: int, message: Message):
+        self.serializer.admit()
+        remote = self._remote.get(engine_id)
+        if remote is not None:
+            parent, remote_id = remote
+            return parent.handle(remote_id, message)
+        if engine_id not in self.table:
+            raise KeyError(f"unknown engine {engine_id}")
+        board = self.board
+        if isinstance(message, Get):
+            return board.get_var(engine_id, message.name)
+        if isinstance(message, Set):
+            return board.set_var(engine_id, message.name, message.value)
+        if isinstance(message, Evaluate):
+            outcome = board.evaluate(engine_id)
+            return TrapReply(outcome.status, outcome.task_id, outcome.native_cycles)
+        if isinstance(message, Cont):
+            outcome = board.cont(engine_id)
+            return TrapReply(outcome.status, outcome.task_id, outcome.native_cycles)
+        if isinstance(message, RunTicks):
+            outcome = board.run_ticks(engine_id, message.clock, message.ticks)
+            return BatchReply(outcome.status, outcome.ticks_done,
+                              outcome.task_id, outcome.native_cycles_total)
+        if isinstance(message, Update):
+            return None
+        if isinstance(message, Snapshot):
+            return board.snapshot(engine_id, message.names)
+        if isinstance(message, Restore):
+            return board.restore(engine_id, message.state)
+        if isinstance(message, ReadExpr):
+            return board.read_expr(engine_id, message.expr)
+        if isinstance(message, WriteLval):
+            return board.write_lvalue(engine_id, message.lhs, message.value)
+        raise TypeError(f"unhandled ABI message {type(message).__name__}")
+
+
+class HypervisorClient:
+    """One instance's private connection — the isolation boundary.
+
+    Presents the same backend interface as
+    :class:`~repro.runtime.backends.DirectBoardBackend`, so a
+    :class:`~repro.runtime.runtime.Runtime` cannot tell whether it owns
+    a device or shares one.  Channels are only issued for engines this
+    client placed; anything else raises :class:`ProtectionError`.
+    """
+
+    def __init__(self, hypervisor: Hypervisor, instance: str,
+                 domain: ProtectionDomain):
+        self.hypervisor = hypervisor
+        self.instance = instance
+        self.domain = domain
+        self._owned: List[int] = []
+
+    @property
+    def device(self) -> Device:
+        return self.hypervisor.device
+
+    @property
+    def board(self) -> SimulatedBoard:
+        return self.hypervisor.board
+
+    @property
+    def cache(self) -> CompilationCache:
+        return self.hypervisor.cache
+
+    def place(self, program: CompiledProgram) -> Placement:
+        placement = self.hypervisor.place_subprogram(
+            self.instance, self.domain, program
+        )
+        self._owned.append(placement.engine_id)
+        return placement
+
+    def channel(self, engine_id: int) -> AbiChannel:
+        if engine_id not in self._owned:
+            raise ProtectionError(
+                f"instance {self.instance!r} does not own engine {engine_id}"
+            )
+        return self.hypervisor.channel(engine_id)
+
+    def release(self, engine_id: int) -> None:
+        if engine_id in self._owned:
+            self._owned.remove(engine_id)
+            self.hypervisor.finish_instance(engine_id)

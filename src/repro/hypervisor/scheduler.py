@@ -1,0 +1,91 @@
+"""Hypervisor scheduling: ABI serialization and IO-path time-sharing.
+
+The hypervisor schedules ABI requests sequentially to avoid resource
+contention (§4.2).  Temporal multiplexing is what happens when multiple
+sub-programs contend on a common IO path between software and hardware
+(§4.3, Figure 11): requests are served round-robin, so each stream's
+effective per-operation latency is the sum of every active stream's
+service time — and a stream with short operations (regex's character
+reads) loses more than half its throughput next to one with long
+operations (nw's string reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class IoStream:
+    """One sub-program's presence on the shared IO path."""
+
+    engine_id: int
+    op_seconds: float  # service time of one primitive operation
+    active: bool = True
+
+
+class RoundRobinIoScheduler:
+    """Round-robin service of a shared IO resource."""
+
+    def __init__(self):
+        self._streams: Dict[int, IoStream] = {}
+        self.rounds = 0
+
+    def register(self, engine_id: int, op_seconds: float) -> None:
+        self._streams[engine_id] = IoStream(engine_id, op_seconds)
+
+    def unregister(self, engine_id: int) -> None:
+        self._streams.pop(engine_id, None)
+
+    def set_active(self, engine_id: int, active: bool) -> None:
+        if engine_id in self._streams:
+            self._streams[engine_id].active = active
+
+    @property
+    def contenders(self) -> List[IoStream]:
+        return [s for s in self._streams.values() if s.active]
+
+    def effective_period(self, engine_id: int) -> float:
+        """Seconds between successive completions for one stream.
+
+        Alone: the stream's own service time.  Contended: one full
+        round-robin round — the sum of every active stream's op time.
+        """
+        stream = self._streams[engine_id]
+        active = self.contenders
+        if not stream.active or len(active) <= 1:
+            return stream.op_seconds
+        return sum(s.op_seconds for s in active)
+
+    def throughput_fraction(self, engine_id: int) -> float:
+        """Fraction of solo throughput the stream currently achieves."""
+        stream = self._streams[engine_id]
+        period = self.effective_period(engine_id)
+        if period <= 0:
+            return 1.0
+        return stream.op_seconds / period
+
+    def extra_wait(self, engine_id: int) -> float:
+        """Per-operation queueing delay imposed by other streams."""
+        stream = self._streams[engine_id]
+        return self.effective_period(engine_id) - stream.op_seconds
+
+
+class AbiSerializer:
+    """Sequential scheduling of ABI requests (§4.2).
+
+    Every request occupies the hypervisor for its service time; the
+    counter feeds the profiling surface and the nesting cost model.
+    """
+
+    def __init__(self, service_seconds: float = 2e-6):
+        self.service_seconds = service_seconds
+        self.requests = 0
+        self.busy_seconds = 0.0
+
+    def admit(self) -> float:
+        """Account for one request; returns its serialized service time."""
+        self.requests += 1
+        self.busy_seconds += self.service_seconds
+        return self.service_seconds

@@ -1,0 +1,13 @@
+"""Software interpreter: event-driven simulation of flattened modules."""
+
+from .store import Store
+from .eval_expr import EvalError, Evaluator
+from .vfs import VirtualFS, VirtualFile
+from .systasks import FinishSignal, TaskHost, verilog_format
+from .simulator import SimulationError, Simulator
+
+__all__ = [
+    "Store", "EvalError", "Evaluator", "VirtualFS", "VirtualFile",
+    "FinishSignal", "TaskHost", "verilog_format",
+    "SimulationError", "Simulator",
+]

@@ -1,0 +1,284 @@
+"""Expression evaluation and lvalue assignment over a :class:`Store`.
+
+Implements Verilog-2005 sizing semantics for the 2-state subset: every
+operand of a context-determined operator is evaluated at the expression's
+final width, so carries and wraparound behave exactly as they would in a
+hardware netlist of that width.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..verilog import ast_nodes as ast
+from ..verilog.width import WidthEnv, WidthError, mask, to_signed
+
+# System functions the evaluator resolves through a callback; everything
+# else in expression position is an error.
+SysFuncHook = Callable[[ast.SysCall, int], int]
+
+
+class EvalError(Exception):
+    """Raised when an expression cannot be evaluated."""
+
+
+class Evaluator:
+    """Evaluates expressions and applies assignments for one module."""
+
+    def __init__(self, env: WidthEnv, store, sysfunc: Optional[SysFuncHook] = None):
+        self.env = env
+        self.store = store
+        self.sysfunc = sysfunc
+        self.ops_evaluated = 0  # perf counter: expression nodes evaluated
+
+    # -- evaluation -------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, context_width: int = 0) -> int:
+        """Evaluate *expr*; result is masked to max(self, context) width."""
+        width = max(self.env.width_of(expr), context_width)
+        return self._eval(expr, width)
+
+    def eval_bool(self, expr: ast.Expr) -> bool:
+        """Evaluate *expr* for truthiness (self-determined width)."""
+        return self._eval(expr, self.env.width_of(expr)) != 0
+
+    def _eval(self, expr: ast.Expr, width: int) -> int:
+        self.ops_evaluated += 1
+        if isinstance(expr, ast.Number):
+            return mask(expr.value, width) if width else expr.value
+        if isinstance(expr, ast.String):
+            value = 0
+            for ch in expr.value:
+                value = (value << 8) | ord(ch)
+            return mask(value, width)
+        if isinstance(expr, ast.Identifier):
+            if expr.name in self.env.params:
+                return mask(self.env.params[expr.name], width)
+            sig = self.env.signal(expr.name)
+            if sig.is_memory:
+                raise EvalError(f"memory {expr.name!r} used without an index")
+            return mask(self.store.get(expr.name), width)
+        if isinstance(expr, ast.Index):
+            return mask(self._eval_index(expr), width)
+        if isinstance(expr, ast.RangeSelect):
+            return mask(self._eval_range(expr), width)
+        if isinstance(expr, ast.Concat):
+            value = 0
+            for part in expr.parts:
+                part_width = self.env.width_of(part)
+                value = (value << part_width) | self._eval(part, part_width)
+            return mask(value, width)
+        if isinstance(expr, ast.Repeat):
+            from ..verilog.width import const_eval
+
+            count = const_eval(expr.count, self.env.params)
+            unit_width = self.env.width_of(expr.value)
+            unit = self._eval(expr.value, unit_width)
+            value = 0
+            for _ in range(count):
+                value = (value << unit_width) | unit
+            return mask(value, width)
+        if isinstance(expr, ast.Unary):
+            return self._eval_unary(expr, width)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, width)
+        if isinstance(expr, ast.Ternary):
+            if self.eval_bool(expr.cond):
+                return self._eval(expr.if_true, width)
+            return self._eval(expr.if_false, width)
+        if isinstance(expr, ast.SysCall):
+            if expr.name in ("$signed", "$unsigned"):
+                return self._eval(expr.args[0], width)
+            if self.sysfunc is None:
+                raise EvalError(f"system function {expr.name} needs a runtime handler")
+            return mask(self.sysfunc(expr, width), width)
+        raise EvalError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_index(self, expr: ast.Index) -> int:
+        if not isinstance(expr.base, ast.Identifier):
+            base_width = self.env.width_of(expr.base)
+            base = self._eval(expr.base, base_width)
+            bit = self.eval(expr.index)
+            return (base >> bit) & 1
+        sig = self.env.signal(expr.base.name)
+        idx = self.eval(expr.index)
+        if sig.is_memory:
+            return self.store.mem_get(sig.name, idx)
+        offset = sig.bit_offset(idx)
+        if offset < 0 or offset >= sig.width:
+            return 0
+        return (self.store.get(sig.name) >> offset) & 1
+
+    def _eval_range(self, expr: ast.RangeSelect) -> int:
+        from ..verilog.width import const_eval
+
+        base_width = self.env.width_of(expr.base)
+        base = self._eval(expr.base, base_width)
+        low, sel_width = self._range_bounds(expr)
+        if low < 0:
+            return 0
+        return (base >> low) & ((1 << sel_width) - 1)
+
+    def _range_bounds(self, expr: ast.RangeSelect) -> "tuple[int, int]":
+        """Return (low bit offset, width) of a part select."""
+        from ..verilog.width import const_eval
+
+        sig = None
+        if isinstance(expr.base, ast.Identifier):
+            sig = self.env.signals.get(expr.base.name)
+        if expr.mode == ":":
+            msb = const_eval(expr.msb, self.env.params)
+            lsb = const_eval(expr.lsb, self.env.params)
+            sel_width = abs(msb - lsb) + 1
+            low_index = lsb if (sig is None or sig.msb >= sig.lsb) else msb
+            low = sig.bit_offset(low_index) if sig is not None else min(msb, lsb)
+            return low, sel_width
+        start = self.eval(expr.msb)
+        sel_width = const_eval(expr.lsb, self.env.params)
+        if expr.mode == "+:":
+            low_index = start
+        else:  # -:
+            low_index = start - sel_width + 1
+        low = sig.bit_offset(low_index) if sig is not None else low_index
+        return low, sel_width
+
+    def _eval_unary(self, expr: ast.Unary, width: int) -> int:
+        op = expr.op
+        if op == "!":
+            return 0 if self.eval_bool(expr.operand) else 1
+        if op in ("&", "~&", "|", "~|", "^", "~^", "^~"):
+            operand_width = self.env.width_of(expr.operand)
+            value = self._eval(expr.operand, operand_width)
+            ones = bin(value).count("1")
+            if op == "&":
+                result = int(value == mask(-1, operand_width))
+            elif op == "~&":
+                result = int(value != mask(-1, operand_width))
+            elif op == "|":
+                result = int(value != 0)
+            elif op == "~|":
+                result = int(value == 0)
+            elif op == "^":
+                result = ones & 1
+            else:  # ~^ / ^~
+                result = (ones & 1) ^ 1
+            return result
+        value = self._eval(expr.operand, width)
+        if op == "~":
+            return mask(~value, width)
+        if op == "-":
+            return mask(-value, width)
+        raise EvalError(f"unknown unary operator {op!r}")
+
+    def _eval_binary(self, expr: ast.Binary, width: int) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self.eval_bool(expr.left)
+            if op == "&&":
+                return int(left and self.eval_bool(expr.right))
+            return int(left or self.eval_bool(expr.right))
+        if op in ("==", "!=", "===", "!==", "<", "<=", ">", ">="):
+            cmp_width = max(
+                self.env.width_of(expr.left), self.env.width_of(expr.right)
+            )
+            left = self._eval(expr.left, cmp_width)
+            right = self._eval(expr.right, cmp_width)
+            if self.env.is_signed(expr.left) and self.env.is_signed(expr.right):
+                left = to_signed(left, cmp_width)
+                right = to_signed(right, cmp_width)
+            table = {
+                "==": left == right, "!=": left != right,
+                "===": left == right, "!==": left != right,
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right,
+            }
+            return int(table[op])
+        if op in ("<<", ">>", "<<<", ">>>"):
+            left = self._eval(expr.left, width)
+            shift = self.eval(expr.right)
+            if shift > 4096:
+                return 0
+            if op == "<<" or op == "<<<":
+                return mask(left << shift, width)
+            if op == ">>>" and self.env.is_signed(expr.left):
+                signed = to_signed(left, width)
+                return mask(signed >> shift, width)
+            return left >> shift
+        if op == "**":
+            base = self._eval(expr.left, width)
+            exponent = self.eval(expr.right)
+            if exponent > 64:
+                exponent = 64
+            return mask(pow(base, exponent, 1 << max(width, 1)), width)
+        left = self._eval(expr.left, width)
+        right = self._eval(expr.right, width)
+        if op == "+":
+            return mask(left + right, width)
+        if op == "-":
+            return mask(left - right, width)
+        if op == "*":
+            return mask(left * right, width)
+        if op == "/":
+            if right == 0:
+                return mask(-1, width)  # x in 4-state; all-ones here
+            if self.env.is_signed(expr.left) and self.env.is_signed(expr.right):
+                result = int(to_signed(left, width) / to_signed(right, width))
+                return mask(result, width)
+            return left // right
+        if op == "%":
+            if right == 0:
+                return mask(-1, width)
+            if self.env.is_signed(expr.left) and self.env.is_signed(expr.right):
+                sl, sr = to_signed(left, width), to_signed(right, width)
+                return mask(sl - sr * int(sl / sr), width)
+            return left % right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op in ("~^", "^~"):
+            return mask(~(left ^ right), width)
+        raise EvalError(f"unknown binary operator {op!r}")
+
+    # -- assignment ----------------------------------------------------------
+
+    def assign(self, lhs: ast.Expr, value: int, notify: bool = True) -> bool:
+        """Write *value* into lvalue *lhs*; returns True on change."""
+        if isinstance(lhs, ast.Identifier):
+            return self.store.set(lhs.name, value, notify)
+        if isinstance(lhs, ast.Index):
+            if not isinstance(lhs.base, ast.Identifier):
+                raise EvalError("nested lvalue selects are not supported")
+            sig = self.env.signal(lhs.base.name)
+            idx = self.eval(lhs.index)
+            if sig.is_memory:
+                return self.store.mem_set(sig.name, idx, value, notify)
+            offset = sig.bit_offset(idx)
+            if offset < 0 or offset >= sig.width:
+                return False
+            current = self.store.get(sig.name)
+            updated = (current & ~(1 << offset)) | ((value & 1) << offset)
+            return self.store.set(sig.name, updated, notify)
+        if isinstance(lhs, ast.RangeSelect):
+            if not isinstance(lhs.base, ast.Identifier):
+                raise EvalError("nested lvalue selects are not supported")
+            sig = self.env.signal(lhs.base.name)
+            low, sel_width = self._range_bounds(lhs)
+            if low < 0:
+                return False
+            field_mask = ((1 << sel_width) - 1) << low
+            current = self.store.get(sig.name)
+            updated = (current & ~field_mask) | ((value << low) & field_mask)
+            return self.store.set(sig.name, updated, notify)
+        if isinstance(lhs, ast.Concat):
+            changed = False
+            shift = sum(self.env.width_of(p) for p in lhs.parts)
+            for part in lhs.parts:
+                part_width = self.env.width_of(part)
+                shift -= part_width
+                part_value = (value >> shift) & ((1 << part_width) - 1)
+                changed |= self.assign(part, part_value, notify)
+            return changed
+        raise EvalError(f"invalid lvalue {type(lhs).__name__}")

@@ -1,0 +1,503 @@
+"""Event-driven simulator for flattened Verilog modules.
+
+Implements the Verilog scheduling semantics the paper's §2 walks through:
+
+* continuous assignments re-run whenever their inputs change;
+* procedural blocks run when their (edge-qualified) guards fire;
+* blocking assignments (``=``) take effect immediately;
+* non-blocking assignments (``<=``) are queued and latched in an update
+  region once no more evaluation events remain;
+* evaluation/update alternate until the design fixpoints — that is one
+  *logical tick*, the unit at which the Cascade ABI's ``evaluate`` and
+  ``update`` messages operate.
+
+Unsynthesizable tasks are serviced *immediately* by the attached
+:class:`~repro.interp.systasks.TaskHost` — the defining capability of
+software simulation that Synergy's transformations recover on hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..verilog import ast_nodes as ast
+from ..verilog.rewrite import collect_identifiers, stmt_identifiers
+from ..verilog.width import WidthEnv, mask
+from .eval_expr import EvalError, Evaluator
+from .store import Store
+from .systasks import FinishSignal, TaskHost, verilog_format
+
+_MAX_LOOP_ITERATIONS = 1 << 21
+_MAX_SETTLE_ROUNDS = 10_000
+
+
+class SimulationError(Exception):
+    """Raised when simulation cannot proceed (combinational loop, etc.)."""
+
+
+class _Event:
+    """One sensitivity-list entry with edge-detection state."""
+
+    __slots__ = ("edge", "expr", "deps", "prev")
+
+    def __init__(self, edge: str, expr: ast.Expr, deps: Set[str], prev: int = 0):
+        self.edge = edge
+        self.expr = expr
+        self.deps = deps
+        self.prev = prev
+
+    def triggered(self, new: int) -> bool:
+        old_bit, new_bit = self.prev & 1, new & 1
+        if self.edge == "posedge":
+            return old_bit == 0 and new_bit == 1
+        if self.edge == "negedge":
+            return old_bit == 1 and new_bit == 0
+        return new != self.prev
+
+
+class _Process:
+    """A continuous assign, always block, or initial block."""
+
+    __slots__ = ("index", "kind", "stmt", "assign", "events", "star_deps", "queued")
+
+    def __init__(self, index: int, kind: str, stmt: Optional[ast.Stmt] = None,
+                 assign: Optional[ast.ContinuousAssign] = None,
+                 events: Sequence[_Event] = (), star_deps: Optional[Set[str]] = None):
+        self.index = index
+        self.kind = kind  # "assign" | "always" | "initial"
+        self.stmt = stmt
+        self.assign = assign
+        self.events = list(events)
+        self.star_deps = star_deps or set()
+        self.queued = False
+
+
+class Simulator:
+    """Simulates one flattened module against a :class:`TaskHost`."""
+
+    def __init__(self, module: ast.Module, host: Optional[TaskHost] = None,
+                 env: Optional[WidthEnv] = None):
+        self.module = module
+        self.host = host if host is not None else TaskHost()
+        self.env = env if env is not None else WidthEnv(module)
+        self.store = Store(self.env)
+        self.evaluator = Evaluator(self.env, self.store, self._sysfunc)
+        self.time = 0            # logical ticks driven via tick()
+        self.stmts_executed = 0  # perf counter
+        self.settle_rounds = 0   # perf counter: evaluation rounds
+        # Insertion-ordered (dict) so activation order is deterministic:
+        # one fixed, valid Verilog schedule per program, every run.
+        self._dirty: Dict[str, None] = {}
+        self._run_queue: List[_Process] = []
+        self._nba: List[Tuple[ast.Expr, int]] = []
+        self._write_buffer = ""
+        self._processes: List[_Process] = []
+        self._dep_map: Dict[str, List[_Process]] = {}
+        self._build_processes()
+        self.store.add_watcher(lambda name: self._dirty.setdefault(name))
+        self._initialize()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_processes(self) -> None:
+        index = 0
+        for item in self.module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                deps = collect_identifiers(item.rhs) | self._lhs_index_deps(item.lhs)
+                proc = _Process(index, "assign", assign=item, star_deps=deps)
+                self._register(proc, deps)
+            elif isinstance(item, ast.Always):
+                if item.sensitivity == ast.STAR:
+                    deps = stmt_identifiers(item.stmt)
+                    proc = _Process(index, "always", stmt=item.stmt, star_deps=deps)
+                    self._register(proc, deps)
+                else:
+                    events = [
+                        _Event(e.edge, e.expr, collect_identifiers(e.expr))
+                        for e in item.sensitivity
+                    ]
+                    proc = _Process(index, "always", stmt=item.stmt, events=events)
+                    deps: Set[str] = set()
+                    for event in events:
+                        deps |= event.deps
+                    self._register(proc, deps)
+            elif isinstance(item, ast.Initial):
+                proc = _Process(index, "initial", stmt=item.stmt)
+                self._processes.append(proc)
+            elif isinstance(item, ast.Decl) and item.kind == "wire" and item.init is not None:
+                implied = ast.ContinuousAssign(ast.Identifier(item.name), item.init)
+                deps = collect_identifiers(item.init)
+                proc = _Process(index, "assign", assign=implied, star_deps=deps)
+                self._register(proc, deps)
+            else:
+                continue
+            index += 1
+
+    def _register(self, proc: _Process, deps: Set[str]) -> None:
+        self._processes.append(proc)
+        for name in deps:
+            self._dep_map.setdefault(name, []).append(proc)
+
+    @staticmethod
+    def _lhs_index_deps(lhs: ast.Expr) -> Set[str]:
+        """Names read by index expressions on the assignment target."""
+        deps: Set[str] = set()
+        if isinstance(lhs, ast.Index):
+            deps |= collect_identifiers(lhs.index)
+        if isinstance(lhs, ast.RangeSelect):
+            deps |= collect_identifiers(lhs.msb)
+        if isinstance(lhs, ast.Concat):
+            for part in lhs.parts:
+                deps |= Simulator._lhs_index_deps(part)
+        return deps
+
+    def _initialize(self) -> None:
+        # Register/integer initializers, in declaration order.
+        for item in self.module.items:
+            if (isinstance(item, ast.Decl) and item.init is not None
+                    and item.kind in ("reg", "integer")):
+                sig = self.env.signal(item.name)
+                if sig.is_memory:
+                    continue
+                value = self.evaluator.eval(item.init, sig.width)
+                self.store.set(item.name, value, notify=False)
+        # Initial blocks and continuous assigns run on the first settle.
+        for proc in self._processes:
+            if proc.kind in ("initial", "assign"):
+                self._enqueue(proc)
+        self.settle()
+        # Prime event previous-values from the settled state.
+        for proc in self._processes:
+            for event in proc.events:
+                event.prev = self._event_value(event)
+
+    # -- the ABI surface ------------------------------------------------------
+
+    def get(self, name: str) -> int:
+        """ABI ``get``: read a program variable."""
+        return self.store.get(name)
+
+    def set(self, name: str, value: int) -> None:
+        """ABI ``set``: drive an input or overwrite a variable."""
+        self.store.set(name, value)
+
+    def evaluate(self) -> None:
+        """ABI ``evaluate``: run until no events can be scheduled."""
+        self.settle()
+
+    def update(self) -> None:
+        """ABI ``update``: latch pending non-blocking assignments."""
+        self._latch()
+
+    # -- scheduling core ---------------------------------------------------------
+
+    def _enqueue(self, proc: _Process) -> None:
+        if not proc.queued:
+            proc.queued = True
+            self._run_queue.append(proc)
+
+    def _event_value(self, event: _Event) -> int:
+        try:
+            return self.evaluator.eval(event.expr)
+        except EvalError:
+            return 0
+
+    def _drain_dirty(self) -> None:
+        """Convert changed-signal notifications into process activations."""
+        while self._dirty:
+            changed = next(iter(self._dirty))
+            del self._dirty[changed]
+            for proc in self._dep_map.get(changed, ()):
+                if proc.kind == "assign" or proc.star_deps:
+                    self._enqueue(proc)
+                    continue
+                for event in proc.events:
+                    if changed not in event.deps:
+                        continue
+                    new = self._event_value(event)
+                    if event.triggered(new):
+                        self._enqueue(proc)
+                    event.prev = new
+
+    def settle(self) -> None:
+        """Run evaluation events to fixpoint (no NBA latching).
+
+        Continuous assignments are drained before procedural blocks —
+        a deterministic schedule (valid per the LRM's nondeterminism)
+        under which procedural code always reads settled combinational
+        values, matching what synthesized hardware does at a clock edge.
+        """
+        rounds = 0
+        self._drain_dirty()
+        while self._run_queue:
+            rounds += 1
+            if rounds > _MAX_SETTLE_ROUNDS * max(1, len(self._processes)):
+                raise SimulationError("evaluation did not converge "
+                                      "(combinational loop?)")
+            proc = None
+            for index, candidate in enumerate(self._run_queue):
+                if candidate.kind == "assign":
+                    proc = self._run_queue.pop(index)
+                    break
+            if proc is None:
+                proc = self._run_queue.pop(0)
+            proc.queued = False
+            self.settle_rounds += 1
+            if proc.kind == "assign":
+                self._run_assign(proc.assign)
+            else:
+                self._exec(proc.stmt)
+            self._drain_dirty()
+
+    def _latch(self) -> None:
+        """Apply queued non-blocking assignments (update region)."""
+        pending, self._nba = self._nba, []
+        for lhs, value in pending:
+            self.evaluator.assign(lhs, value)
+        self._drain_dirty()
+
+    def step(self) -> None:
+        """One full logical step: evaluate/update until quiescent."""
+        self.settle()
+        guard = 0
+        while self._nba:
+            guard += 1
+            if guard > _MAX_SETTLE_ROUNDS:
+                raise SimulationError("update region did not converge")
+            self._latch()
+            self.settle()
+
+    def tick(self, clock: str = "clock", cycles: int = 1) -> None:
+        """Drive *cycles* full clock periods (rise then fall)."""
+        for _ in range(cycles):
+            if self.host.finished:
+                return
+            try:
+                self.store.set(clock, 1)
+                self.step()
+                self.store.set(clock, 0)
+                self.step()
+            except FinishSignal:
+                pass
+            self.time += 1
+
+    def run(self, clock: str = "clock", max_cycles: int = 1_000_000) -> int:
+        """Tick until ``$finish`` or *max_cycles*; returns cycles driven."""
+        cycles = 0
+        while not self.host.finished and cycles < max_cycles:
+            self.tick(clock)
+            cycles += 1
+        return cycles
+
+    # -- statement execution ----------------------------------------------------
+
+    def _run_assign(self, item: ast.ContinuousAssign) -> None:
+        width = self.env.width_of(item.lhs)
+        value = self.evaluator.eval(item.rhs, width)
+        self.evaluator.assign(item.lhs, value)
+
+    def _exec(self, stmt: Optional[ast.Stmt]) -> None:
+        if stmt is None:
+            return
+        self.stmts_executed += 1
+        if isinstance(stmt, ast.Assign):
+            width = self.env.width_of(stmt.lhs)
+            value = self.evaluator.eval(stmt.rhs, width)
+            if stmt.blocking:
+                self.evaluator.assign(stmt.lhs, value)
+            else:
+                self._nba.append((stmt.lhs, value))
+            return
+        if isinstance(stmt, ast.Block) or isinstance(stmt, ast.ForkJoin):
+            # Sequential execution is a valid scheduling of fork/join (§3.2).
+            for inner in stmt.stmts:
+                self._exec(inner)
+            return
+        if isinstance(stmt, ast.If):
+            if self.evaluator.eval_bool(stmt.cond):
+                self._exec(stmt.then_stmt)
+            else:
+                self._exec(stmt.else_stmt)
+            return
+        if isinstance(stmt, ast.Case):
+            self._exec_case(stmt)
+            return
+        if isinstance(stmt, ast.For):
+            self._exec(stmt.init)
+            iterations = 0
+            while self.evaluator.eval_bool(stmt.cond):
+                self._exec(stmt.body)
+                self._exec(stmt.step)
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise SimulationError("for-loop iteration limit exceeded")
+            return
+        if isinstance(stmt, ast.While):
+            iterations = 0
+            while self.evaluator.eval_bool(stmt.cond):
+                self._exec(stmt.body)
+                iterations += 1
+                if iterations > _MAX_LOOP_ITERATIONS:
+                    raise SimulationError("while-loop iteration limit exceeded")
+            return
+        if isinstance(stmt, ast.RepeatStmt):
+            count = self.evaluator.eval(stmt.count)
+            for _ in range(min(count, _MAX_LOOP_ITERATIONS)):
+                self._exec(stmt.body)
+            return
+        if isinstance(stmt, ast.SysTask):
+            self._exec_systask(stmt)
+            return
+        if isinstance(stmt, ast.NullStmt):
+            return
+        if isinstance(stmt, ast.DelayStmt):
+            # Delays are compressed to zero time in the 2-state model.
+            self._exec(stmt.stmt)
+            return
+        raise SimulationError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_case(self, stmt: ast.Case) -> None:
+        subject_width = self.env.width_of(stmt.expr)
+        for item in stmt.items:
+            for label in item.labels:
+                subject = self.evaluator.eval(stmt.expr, subject_width)
+                label_width = max(subject_width, self.env.width_of(label))
+                value = self.evaluator.eval(label, label_width)
+                dontcare = 0
+                if stmt.kind in ("casez", "casex") and isinstance(label, ast.Number):
+                    dontcare = label.xz_mask
+                if (subject & ~dontcare) == (value & ~dontcare):
+                    self._exec(item.stmt)
+                    return
+        for item in stmt.items:
+            if not item.labels:  # default arm
+                self._exec(item.stmt)
+                return
+
+    # -- system tasks / functions -------------------------------------------------
+
+    def _format_args(self, args: Sequence[ast.Expr]) -> str:
+        if args and isinstance(args[0], ast.String) and "%" in args[0].value:
+            values: List[object] = []
+            for arg in args[1:]:
+                if isinstance(arg, ast.String):
+                    values.append(arg.value)
+                else:
+                    values.append(self.evaluator.eval(arg))
+            return verilog_format(args[0].value, values)
+        rendered = []
+        for arg in args:
+            if isinstance(arg, ast.String):
+                rendered.append(arg.value)
+            else:
+                rendered.append(str(self.evaluator.eval(arg)))
+        return " ".join(rendered)
+
+    def _exec_systask(self, stmt: ast.SysTask) -> None:
+        name = stmt.name
+        if name in ("$display", "$strobe", "$monitor"):
+            self.host.display(self._write_buffer + self._format_args(stmt.args))
+            self._write_buffer = ""
+            return
+        if name == "$write":
+            self._write_buffer += self._format_args(stmt.args)
+            return
+        if name in ("$fdisplay", "$fwrite"):
+            fd = self.evaluator.eval(stmt.args[0])
+            text = self._format_args(stmt.args[1:])
+            if name == "$fdisplay":
+                text += "\n"
+            self.host.vfs.fwrite(fd, text)
+            return
+        if name == "$fread":
+            fd = self.evaluator.eval(stmt.args[0])
+            dest = stmt.args[1]
+            width = self.env.width_of(dest)
+            word = self.host.vfs.fread_word(fd, width)
+            if word is not None:
+                self.evaluator.assign(dest, word)
+            return
+        if name == "$fclose":
+            self.host.vfs.fclose(self.evaluator.eval(stmt.args[0]))
+            return
+        if name in ("$finish", "$stop"):
+            code = self.evaluator.eval(stmt.args[0]) if stmt.args else 0
+            self.host.finish(code)
+            return
+        if name == "$save":
+            self.host.request_save()
+            return
+        if name == "$restart":
+            self.host.request_restart()
+            return
+        if name == "$yield":
+            self.host.assert_yield()
+            return
+        if name == "$srandom":
+            seed = self.evaluator.eval(stmt.args[0]) if stmt.args else 1
+            self.host._rand_state = seed or 1
+            return
+        if name == "$readmemh" and len(stmt.args) == 2:
+            self._readmem(stmt.args[0], stmt.args[1], 16)
+            return
+        if name == "$readmemb" and len(stmt.args) == 2:
+            self._readmem(stmt.args[0], stmt.args[1], 2)
+            return
+        # Unknown tasks are logged but non-fatal, matching simulator habits.
+        self.host.display(f"[unsupported system task {name}]")
+
+    def _readmem(self, path_arg: ast.Expr, mem_arg: ast.Expr, radix: int) -> None:
+        if not isinstance(path_arg, ast.String) or not isinstance(mem_arg, ast.Identifier):
+            return
+        data = self.host.vfs.files.get(path_arg.value)
+        if data is None:
+            return
+        sig = self.env.signal(mem_arg.name)
+        addr = sig.base
+        for token in data.decode().split():
+            if token.startswith("@"):
+                addr = int(token[1:], 16)
+                continue
+            self.store.mem_set(sig.name, addr, int(token, radix))
+            addr += 1
+
+    def _sysfunc(self, expr: ast.SysCall, width: int) -> int:
+        name = expr.name
+        if name == "$fopen":
+            path = expr.args[0].value if isinstance(expr.args[0], ast.String) else ""
+            mode = (expr.args[1].value
+                    if len(expr.args) > 1 and isinstance(expr.args[1], ast.String)
+                    else "r")
+            return self.host.vfs.fopen(path, mode)
+        if name == "$feof":
+            return self.host.vfs.feof(self.evaluator.eval(expr.args[0]))
+        if name == "$fgetc":
+            return self.host.vfs.fgetc(self.evaluator.eval(expr.args[0]))
+        if name in ("$time", "$stime"):
+            return self.time
+        if name in ("$random", "$urandom"):
+            return self.host.random()
+        if name == "$clog2":
+            value = self.evaluator.eval(expr.args[0])
+            return max(0, (value - 1).bit_length())
+        raise EvalError(f"unsupported system function {name}")
+
+    # -- state capture -----------------------------------------------------------
+
+    def save_state(self) -> Dict[str, object]:
+        """Full context snapshot: program state, file cursors, time."""
+        return {
+            "store": self.store.snapshot(),
+            "vfs": self.host.vfs.snapshot(),
+            "time": self.time,
+        }
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        """Restore a snapshot taken by :meth:`save_state`."""
+        self.store.restore(snapshot["store"])  # type: ignore[arg-type]
+        self.host.vfs.restore(snapshot["vfs"])  # type: ignore[arg-type]
+        self.time = int(snapshot["time"])  # type: ignore[arg-type]
+        # Re-prime edge detection so restore does not fabricate edges.
+        for proc in self._processes:
+            for event in proc.events:
+                event.prev = self._event_value(event)

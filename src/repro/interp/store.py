@@ -1,0 +1,128 @@
+"""Value storage for simulation: 2-state signal values and memories.
+
+A :class:`Store` holds the current value of every declared signal in a
+flattened module.  Values are plain Python integers masked to the signal
+width; memories are lists of integers.  The store exposes a uniform
+``get``/``set`` surface that doubles as the data plane for the Cascade
+ABI (engine state capture is literally ``store.snapshot()``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..verilog.width import Signal, WidthEnv, mask
+
+
+class Store:
+    """Current simulation values for one flattened module."""
+
+    def __init__(self, env: WidthEnv):
+        self.env = env
+        self.values: Dict[str, int] = {}
+        self.memories: Dict[str, List[int]] = {}
+        self._watchers: List[Callable[[str], None]] = []
+        for sig in env.signals.values():
+            if sig.is_memory:
+                self.memories[sig.name] = [0] * sig.depth
+            else:
+                self.values[sig.name] = 0
+
+    def add_watcher(self, fn: Callable[[str], None]) -> None:
+        """Register a callback invoked with a signal name on every change."""
+        self._watchers.append(fn)
+
+    def _notify(self, name: str) -> None:
+        for fn in self._watchers:
+            fn(name)
+
+    # -- scalar access -----------------------------------------------------
+
+    def get(self, name: str) -> int:
+        if name in self.values:
+            return self.values[name]
+        if name in self.env.params:
+            return self.env.params[name]
+        raise KeyError(f"unknown signal {name!r}")
+
+    def set(self, name: str, value: int, notify: bool = True) -> bool:
+        """Write a scalar; returns True when the stored value changed."""
+        sig = self.env.signal(name)
+        value = mask(value, sig.width)
+        if self.values.get(name) == value:
+            return False
+        self.values[name] = value
+        if notify:
+            self._notify(name)
+        return True
+
+    # -- memory access -------------------------------------------------------
+
+    def mem_get(self, name: str, addr: int) -> int:
+        sig = self.env.signal(name)
+        idx = addr - sig.base
+        memory = self.memories[name]
+        if 0 <= idx < len(memory):
+            return memory[idx]
+        return 0  # out-of-range reads return 0 in the 2-state model
+
+    def mem_set(self, name: str, addr: int, value: int, notify: bool = True) -> bool:
+        sig = self.env.signal(name)
+        idx = addr - sig.base
+        memory = self.memories[name]
+        if not 0 <= idx < len(memory):
+            return False  # out-of-range writes are dropped
+        value = mask(value, sig.width)
+        if memory[idx] == value:
+            return False
+        memory[idx] = value
+        if notify:
+            self._notify(name)
+        return True
+
+    # -- state capture (the ABI's get/set over full program state) ----------
+
+    def snapshot(self, names: Optional[Iterable[str]] = None) -> Dict[str, object]:
+        """Capture state as ``{name: int | list[int]}``.
+
+        With *names* given, captures only those signals — this is how the
+        quiescence interface skips volatile variables.
+        """
+        selected = set(names) if names is not None else None
+        out: Dict[str, object] = {}
+        for name, value in self.values.items():
+            if selected is None or name in selected:
+                out[name] = value
+        for name, memory in self.memories.items():
+            if selected is None or name in selected:
+                out[name] = list(memory)
+        return out
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`snapshot` (unknown names skipped)."""
+        for name, value in snapshot.items():
+            if name in self.memories and isinstance(value, list):
+                memory = self.memories[name]
+                for i, v in enumerate(value[: len(memory)]):
+                    memory[i] = v
+                self._notify(name)
+            elif name in self.values:
+                sig = self.env.signal(name)
+                self.set(name, mask(int(value), sig.width))
+
+    def state_bits(self, names: Optional[Iterable[str]] = None) -> int:
+        """Total number of bits captured by :meth:`snapshot`.
+
+        Drives the save/restore latency model (mips32's big state makes
+        migration dips deeper, §6.1 of the paper).
+        """
+        selected = set(names) if names is not None else None
+        total = 0
+        for sig in self.env.signals.values():
+            if selected is not None and sig.name not in selected:
+                continue
+            if sig.is_memory:
+                total += sig.width * (sig.depth or 0)
+            else:
+                total += sig.width
+        return total

@@ -1,0 +1,136 @@
+"""Virtual filesystem backing the unsynthesizable file-IO tasks.
+
+The paper's streaming benchmarks (``regex``, ``nw``) read inputs from
+data files through ``$fopen``/``$fread``/``$feof``.  In Synergy these IO
+tasks become ABI traps serviced by the runtime; the VFS is the
+OS-managed resource those traps reach.  It is deliberately tiny: named
+byte buffers with per-descriptor cursors, plus write capture so tests
+can assert on ``$fwrite`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class VirtualFile:
+    """One open file: a byte buffer, a cursor, and an EOF indicator.
+
+    Matching C (and therefore Verilog) semantics, the EOF indicator is
+    raised only when a read *fails* to deliver the requested data — not
+    when the cursor merely reaches the end of the buffer.
+    """
+
+    __slots__ = ("path", "data", "cursor", "writable", "written", "eof_flag")
+
+    def __init__(self, path: str, data: bytes, writable: bool = False):
+        self.path = path
+        self.data = data
+        self.cursor = 0
+        self.writable = writable
+        self.written = bytearray()
+        self.eof_flag = False
+
+    @property
+    def at_eof(self) -> bool:
+        return self.eof_flag
+
+    def read(self, nbytes: int) -> bytes:
+        chunk = self.data[self.cursor : self.cursor + nbytes]
+        self.cursor += len(chunk)
+        if len(chunk) < nbytes:
+            self.eof_flag = True
+        return chunk
+
+    def getc(self) -> int:
+        if self.cursor >= len(self.data):
+            self.eof_flag = True
+            return 0xFFFFFFFF  # EOF sentinel (-1 as 32-bit)
+        byte = self.data[self.cursor]
+        self.cursor += 1
+        return byte
+
+
+class VirtualFS:
+    """A process-local filesystem for simulated IO tasks."""
+
+    _FIRST_FD = 3  # 0/1/2 conventionally reserved
+
+    def __init__(self):
+        self.files: Dict[str, bytes] = {}
+        self.open_files: Dict[int, VirtualFile] = {}
+        self._next_fd = self._FIRST_FD
+
+    def add_file(self, path: str, data: bytes) -> None:
+        """Install (or replace) a file's contents."""
+        self.files[path] = bytes(data)
+
+    def fopen(self, path: str, mode: str = "r") -> int:
+        """Open *path*; returns a descriptor, or 0 on failure (as Verilog)."""
+        writable = "w" in mode or "a" in mode
+        if path not in self.files:
+            if not writable:
+                return 0
+            self.files[path] = b""
+        fd = self._next_fd
+        self._next_fd += 1
+        self.open_files[fd] = VirtualFile(path, self.files[path], writable)
+        return fd
+
+    def fclose(self, fd: int) -> None:
+        handle = self.open_files.pop(fd, None)
+        if handle is not None and handle.writable:
+            self.files[handle.path] = bytes(handle.written)
+
+    def handle(self, fd: int) -> Optional[VirtualFile]:
+        return self.open_files.get(fd)
+
+    def feof(self, fd: int) -> int:
+        handle = self.open_files.get(fd)
+        if handle is None:
+            return 1
+        return 1 if handle.at_eof else 0
+
+    def fread_word(self, fd: int, nbits: int) -> Optional[int]:
+        """Read ``ceil(nbits/8)`` bytes big-endian; None on a failed read."""
+        handle = self.open_files.get(fd)
+        if handle is None or handle.at_eof:
+            return None
+        nbytes = max(1, (nbits + 7) // 8)
+        chunk = handle.read(nbytes)
+        if len(chunk) < nbytes:
+            return None
+        return int.from_bytes(chunk, "big")
+
+    def fgetc(self, fd: int) -> int:
+        handle = self.open_files.get(fd)
+        if handle is None:
+            return 0xFFFFFFFF
+        return handle.getc()
+
+    def fwrite(self, fd: int, text: str) -> None:
+        handle = self.open_files.get(fd)
+        if handle is not None and handle.writable:
+            handle.written.extend(text.encode())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Capture cursors so file IO survives suspend/resume/migration."""
+        return {
+            "next_fd": self._next_fd,
+            "cursors": {fd: h.cursor for fd, h in self.open_files.items()},
+            "paths": {fd: h.path for fd, h in self.open_files.items()},
+            "eof": {fd: h.eof_flag for fd, h in self.open_files.items()},
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Reopen descriptors at their captured cursors."""
+        self._next_fd = int(snapshot["next_fd"])
+        self.open_files.clear()
+        paths: Dict[int, str] = snapshot["paths"]  # type: ignore[assignment]
+        cursors: Dict[int, int] = snapshot["cursors"]  # type: ignore[assignment]
+        eof_flags: Dict[int, bool] = snapshot.get("eof", {})  # type: ignore[assignment]
+        for fd, path in paths.items():
+            handle = VirtualFile(path, self.files.get(path, b""))
+            handle.cursor = cursors.get(fd, 0)
+            handle.eof_flag = eof_flags.get(fd, False)
+            self.open_files[int(fd)] = handle

@@ -1,0 +1,88 @@
+"""Time-series assembly for the paper's wall-time figures.
+
+Figures 9–12 plot throughput against wall time.  The experiments run
+the *mechanisms* for real (traps, state capture, reprogramming) at a
+scaled tick count, measure per-phase rates, and then lay those rates
+out on the paper's event schedule.  :class:`Series` is the container:
+piecewise-constant segments plus ramp support for the adaptive
+refinement recovery tails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Segment:
+    """One phase: constant rate, or a geometric ramp between two rates."""
+
+    t0: float
+    t1: float
+    value: float
+    ramp_to: Optional[float] = None
+
+    def value_at(self, t: float) -> float:
+        if self.ramp_to is None or self.t1 <= self.t0:
+            return self.value
+        # Geometric interpolation: what a doubling quantum looks like.
+        frac = min(1.0, max(0.0, (t - self.t0) / (self.t1 - self.t0)))
+        if self.value <= 0:
+            return self.ramp_to * frac
+        ratio = self.ramp_to / self.value
+        return self.value * (ratio ** frac)
+
+
+@dataclass
+class Series:
+    """A named, unit-tagged time series (one curve of one figure)."""
+
+    name: str
+    unit: str
+    segments: List[Segment] = field(default_factory=list)
+
+    def phase(self, t0: float, t1: float, value: float,
+              ramp_to: Optional[float] = None) -> "Series":
+        self.segments.append(Segment(t0, t1, value, ramp_to))
+        return self
+
+    @property
+    def t_end(self) -> float:
+        return max((s.t1 for s in self.segments), default=0.0)
+
+    def value_at(self, t: float) -> Optional[float]:
+        for seg in self.segments:
+            if seg.t0 <= t < seg.t1:
+                return seg.value_at(t)
+        return None
+
+    def sample(self, dt: float = 1.0) -> List[Tuple[float, Optional[float]]]:
+        points: List[Tuple[float, Optional[float]]] = []
+        t = 0.0
+        end = self.t_end
+        while t <= end + 1e-9:
+            points.append((t, self.value_at(t)))
+            t += dt
+        return points
+
+    def mean_between(self, t0: float, t1: float, dt: float = 0.25) -> float:
+        values = [v for t, v in self.sample(dt) if t0 <= t < t1 and v]
+        return sum(values) / len(values) if values else 0.0
+
+
+def format_series(series_list: Sequence[Series], dt: float = 2.0) -> str:
+    """Render curves as aligned text columns (the textual 'figure')."""
+    end = max(s.t_end for s in series_list)
+    header = f"{'t(s)':>6} " + " ".join(f"{s.name:>16}" for s in series_list)
+    unit_row = f"{'':>6} " + " ".join(f"{('[' + s.unit + ']'):>16}" for s in series_list)
+    lines = [header, unit_row]
+    t = 0.0
+    while t <= end + 1e-9:
+        cells = []
+        for series in series_list:
+            value = series.value_at(t)
+            cells.append(f"{value:>16.3g}" if value is not None else f"{'-':>16}")
+        lines.append(f"{t:>6.1f} " + " ".join(cells))
+        t += dt
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Cascade-style JIT runtime: engines, ABI, trap servicing, JIT policy."""
+
+from .abi import (
+    AbiChannel, AbiTarget, ChannelStats, Cont, Evaluate, Get, Message,
+    ReadExpr, Restore, Set, Snapshot, TrapReply, Update, WriteLval,
+)
+from .traps import TrapError, TrapServicer
+from .engine import (
+    Engine, HardwareEngine, SoftwareEngine, TickStats,
+    SW_SECONDS_PER_STMT, SW_SECONDS_PER_TICK,
+)
+from .backends import DirectBoardBackend, Placement, synth_options_for
+from .jit import AdaptiveRefinement, TransitionCosts
+from .runtime import Context, Runtime, RuntimeError_, TelemetryEvent
+
+__all__ = [
+    "AbiChannel", "AbiTarget", "ChannelStats", "Cont", "Evaluate", "Get",
+    "Message", "ReadExpr", "Restore", "Set", "Snapshot", "TrapReply",
+    "Update", "WriteLval",
+    "TrapError", "TrapServicer",
+    "Engine", "HardwareEngine", "SoftwareEngine", "TickStats",
+    "SW_SECONDS_PER_STMT", "SW_SECONDS_PER_TICK",
+    "DirectBoardBackend", "Placement", "synth_options_for",
+    "AdaptiveRefinement", "TransitionCosts",
+    "Context", "Runtime", "RuntimeError_", "TelemetryEvent",
+]

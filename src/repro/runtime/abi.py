@@ -1,0 +1,170 @@
+"""The constrained engine ABI (paper §2.1).
+
+Cascade retains the flexibility to relocate engines by imposing a
+constrained ABI on its IR, mediated by messages over the runtime's
+data/control plane.  The subset relevant to Synergy:
+
+* ``Get``/``Set`` — read and write an engine's inputs, outputs and
+  program variables;
+* ``Evaluate``/``Update`` — run until no more events can be scheduled /
+  latch non-blocking results;
+* ``Cont`` — resume after the runtime services a trap;
+* ``Snapshot``/``Restore`` — bulk state capture (sequences of gets/sets
+  in the paper; batched here with equivalent accounting);
+* ``ReadExpr``/``WriteLval`` — argument fetch and result placement when
+  servicing a trap (bundles of gets/sets).
+
+Every message crossing an :class:`AbiChannel` is counted and costed,
+because ABI frequency is exactly what determines virtualization overhead
+for IO-heavy programs (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Protocol, Tuple
+
+from ..verilog import ast_nodes as ast
+
+
+class Message:
+    """Base class for ABI messages."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Get(Message):
+    name: str
+
+
+@dataclass(frozen=True)
+class Set(Message):
+    name: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Evaluate(Message):
+    pass
+
+
+@dataclass(frozen=True)
+class Update(Message):
+    pass
+
+
+@dataclass(frozen=True)
+class Cont(Message):
+    pass
+
+
+@dataclass(frozen=True)
+class Snapshot(Message):
+    names: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
+class Restore(Message):
+    state: Dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+
+@dataclass(frozen=True)
+class ReadExpr(Message):
+    expr: ast.Expr
+
+
+@dataclass(frozen=True)
+class WriteLval(Message):
+    lhs: ast.Expr
+    value: int
+
+
+@dataclass
+class TrapReply:
+    """An ``Evaluate``/``Cont`` reply: finished, or a pending trap."""
+
+    status: str  # "done" | "trap"
+    task_id: int = 0
+    native_cycles: int = 0
+
+
+@dataclass(frozen=True)
+class RunTicks(Message):
+    """Batch execution: drive up to *ticks* virtual clock periods
+    on-device with no per-tick host interaction.
+
+    This is the Cascade optimization (§4.1) that gets batch-style
+    applications under one ABI request per second: the device toggles
+    the virtual clock itself and only returns early on a trap.
+    """
+
+    clock: str
+    ticks: int
+
+
+@dataclass
+class BatchReply:
+    """Reply to ``RunTicks``: how far the batch got."""
+
+    status: str  # "done" | "trap"
+    ticks_done: int = 0
+    task_id: int = 0
+    native_cycles: int = 0
+
+
+class AbiTarget(Protocol):
+    """Anything able to service engine ABI messages (board backend,
+    hypervisor client, nested hypervisor)."""
+
+    def handle(self, engine_id: int, message: Message) -> Any: ...
+
+
+@dataclass
+class ChannelStats:
+    """Traffic accounting for one engine's data/control plane."""
+
+    messages: int = 0
+    gets: int = 0
+    sets: int = 0
+    evaluates: int = 0
+    traps_serviced: int = 0
+    seconds: float = 0.0
+
+
+class AbiChannel:
+    """A costed message channel between an engine proxy and its target.
+
+    ``latency_s`` models the host link (Avalon-MM, PCIe) — or the extra
+    network hop when the target is a remote hypervisor (§4.1).
+    """
+
+    def __init__(self, target: AbiTarget, engine_id: int, latency_s):
+        self.target = target
+        self.engine_id = engine_id
+        #: Either a float, or a zero-arg callable returning the current
+        #: latency — the hypervisor uses the latter so IO-path contention
+        #: shows up as longer per-message service times (§4.3).
+        self.latency_s = latency_s
+        self.stats = ChannelStats()
+
+    def current_latency(self) -> float:
+        if callable(self.latency_s):
+            return float(self.latency_s())
+        return float(self.latency_s)
+
+    def send(self, message: Message) -> Any:
+        self.stats.messages += 1
+        self.stats.seconds += self.current_latency()
+        if isinstance(message, Get):
+            self.stats.gets += 1
+        elif isinstance(message, (Set, WriteLval)):
+            self.stats.sets += 1
+        elif isinstance(message, (Evaluate, Cont)):
+            self.stats.evaluates += 1
+        elif isinstance(message, (Snapshot, Restore)):
+            # Bulk transfers cost proportionally to their size; the
+            # target reports the element count via its reply when known,
+            # so the base accounting here is the message itself only.
+            pass
+        return self.target.handle(self.engine_id, message)

@@ -1,0 +1,149 @@
+"""Hardware backends: where transformed sub-programs get placed.
+
+:class:`DirectBoardBackend` is the single-tenant path (one runtime
+instance owning one device, like Cascade's DE10 backend).  Multi-tenant
+placement goes through the hypervisor's client backend instead
+(:mod:`repro.hypervisor`), which speaks the same :class:`AbiTarget`
+protocol — engines cannot tell the difference, which is the point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.pipeline import CompiledProgram
+from ..fabric.bitstream import Bitstream, BitstreamCompiler, text_digest
+from ..fabric.board import SimulatedBoard
+from ..fabric.cache import CompilationCache
+from ..fabric.device import Device
+from ..fabric.synth import SynthOptions
+from .abi import (
+    AbiChannel,
+    BatchReply,
+    Cont,
+    Evaluate,
+    Get,
+    Message,
+    ReadExpr,
+    Restore,
+    RunTicks,
+    Set,
+    Snapshot,
+    TrapReply,
+    Update,
+    WriteLval,
+)
+
+
+@dataclass
+class Placement:
+    """Result of placing a program on a backend."""
+
+    engine_id: int
+    clock_hz: float
+    compile_seconds: float
+    reconfig_seconds: float
+    cache_hit: bool
+    bitstream: Bitstream
+
+
+def synth_options_for(program: CompiledProgram,
+                      anti_congestion: bool = False) -> SynthOptions:
+    """Synthesis options implied by a compiled program.
+
+    State-access logic covers the program's captured (non-volatile)
+    state; Synergy's transforms keep memories out of LUTRAM/BRAM
+    (``preserve_memories=False``) — the Figures 13–14 effect.
+    """
+    from ..core.statevars import task_nesting
+
+    captured = None
+    if program.state.uses_yield:
+        captured = frozenset(program.state.captured_names())
+    return SynthOptions(
+        preserve_memories=False,
+        state_access_bits=program.state.captured_bits,
+        control_states=program.transform.n_states,
+        anti_congestion=anti_congestion,
+        captured_names=captured,
+        task_nesting=task_nesting(program.flat),
+    )
+
+
+class DirectBoardBackend:
+    """Single-tenant backend: one device, one resident program."""
+
+    def __init__(self, device: Device, cache: Optional[CompilationCache] = None,
+                 anti_congestion: bool = False):
+        self.device = device
+        self.board = SimulatedBoard(device)
+        self.cache = cache if cache is not None else CompilationCache()
+        self.anti_congestion = anti_congestion
+        self._next_engine_id = 1
+        self._programs: Dict[int, CompiledProgram] = {}
+
+    # -- placement -----------------------------------------------------------
+
+    def place(self, program: CompiledProgram) -> Placement:
+        """Compile (or cache-hit) and program the board with *program*."""
+        options = synth_options_for(program, self.anti_congestion)
+        options_key = repr(options)
+        text = program.hardware_text
+        digest = text_digest(text)
+        cached = self.cache.lookup(self.device.name, options_key, digest)
+        if cached is not None:
+            bitstream, compile_seconds, hit = cached, 0.0, True
+        else:
+            compiler = BitstreamCompiler(self.device, options)
+            bitstream = compiler.compile(program.transform.module, text, target_hz=None)
+            self.cache.insert(self.device.name, options_key, bitstream)
+            compile_seconds, hit = bitstream.compile_seconds, False
+        engine_id = self._next_engine_id
+        self._next_engine_id += 1
+        self._programs = {engine_id: program}
+        self.board.program(bitstream, self._programs)
+        return Placement(
+            engine_id=engine_id,
+            clock_hz=bitstream.clock_hz,
+            compile_seconds=compile_seconds,
+            reconfig_seconds=self.device.reconfig_seconds,
+            cache_hit=hit,
+            bitstream=bitstream,
+        )
+
+    def release(self, engine_id: int) -> None:
+        self._programs.pop(engine_id, None)
+        self.board.slots.pop(engine_id, None)
+
+    def channel(self, engine_id: int) -> AbiChannel:
+        return AbiChannel(self, engine_id, self.device.abi_latency_s)
+
+    # -- AbiTarget ---------------------------------------------------------------
+
+    def handle(self, engine_id: int, message: Message):
+        if isinstance(message, Get):
+            return self.board.get_var(engine_id, message.name)
+        if isinstance(message, Set):
+            return self.board.set_var(engine_id, message.name, message.value)
+        if isinstance(message, Evaluate):
+            outcome = self.board.evaluate(engine_id)
+            return TrapReply(outcome.status, outcome.task_id, outcome.native_cycles)
+        if isinstance(message, Cont):
+            outcome = self.board.cont(engine_id)
+            return TrapReply(outcome.status, outcome.task_id, outcome.native_cycles)
+        if isinstance(message, RunTicks):
+            outcome = self.board.run_ticks(engine_id, message.clock, message.ticks)
+            return BatchReply(outcome.status, outcome.ticks_done,
+                              outcome.task_id, outcome.native_cycles_total)
+        if isinstance(message, Update):
+            return None  # latching is folded into the update state
+        if isinstance(message, Snapshot):
+            return self.board.snapshot(engine_id, message.names)
+        if isinstance(message, Restore):
+            return self.board.restore(engine_id, message.state)
+        if isinstance(message, ReadExpr):
+            return self.board.read_expr(engine_id, message.expr)
+        if isinstance(message, WriteLval):
+            return self.board.write_lvalue(engine_id, message.lhs, message.value)
+        raise TypeError(f"unhandled ABI message {type(message).__name__}")

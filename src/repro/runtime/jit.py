@@ -1,0 +1,61 @@
+"""Adaptive refinement: the JIT policy for hardware/software handoff.
+
+Cascade uses adaptive refinement to decide how long to stay in hardware
+execution before yielding control back to the REPL (§6.2): the quantum
+grows while execution is smooth and shrinks under contention, which is
+why Figure 11's regex matcher takes several seconds to return to peak
+throughput after the aligner finishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdaptiveRefinement:
+    """Multiplicative-increase / multiplicative-decrease tick quantum."""
+
+    min_quantum: int = 8
+    max_quantum: int = 4096
+    quantum: int = 8
+
+    def on_smooth(self) -> None:
+        """Execution proceeded without contention: lengthen the quantum."""
+        self.quantum = min(self.quantum * 2, self.max_quantum)
+
+    def on_contention(self) -> None:
+        """Another instance needed the shared resource: back off."""
+        self.quantum = max(self.quantum // 2, self.min_quantum)
+
+    def reset(self) -> None:
+        self.quantum = self.min_quantum
+
+    @property
+    def at_peak(self) -> bool:
+        return self.quantum >= self.max_quantum
+
+
+@dataclass
+class TransitionCosts:
+    """Latency model for virtualization events (calibrated to §6.1).
+
+    A save or restore evacuates program state through get/set requests;
+    the dip depth and width in Figures 9–10 are governed by the fixed
+    runtime overhead plus a per-bit transfer term (mips32's registers,
+    data memory and instruction memory make its dip much deeper than
+    bitcoin's).
+    """
+
+    runtime_overhead_s: float = 1.0
+    state_bandwidth_bits_s: float = 4e3
+
+    def save_seconds(self, state_bits: int) -> float:
+        return self.runtime_overhead_s + state_bits / self.state_bandwidth_bits_s
+
+    def restore_seconds(self, state_bits: int, reconfig_seconds: float) -> float:
+        return (
+            self.runtime_overhead_s
+            + reconfig_seconds
+            + state_bits / self.state_bandwidth_bits_s
+        )

@@ -1,0 +1,208 @@
+"""AST → Verilog source text.
+
+The printer produces deterministic output: printing the same AST twice
+yields byte-identical text.  The Synergy hypervisor relies on this for
+its compilation cache (deterministic code generation raises cache hit
+rates, §7 of the paper), and the test-suite round-trips parse∘print.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from . import ast_nodes as ast
+
+_INDENT = "  "
+
+
+def print_expr(expr: ast.Expr) -> str:
+    """Render an expression as Verilog text."""
+    if isinstance(expr, ast.Number):
+        return str(expr)
+    if isinstance(expr, ast.String):
+        return str(expr)
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{print_expr(expr.base)}[{print_expr(expr.index)}]"
+    if isinstance(expr, ast.RangeSelect):
+        return (
+            f"{print_expr(expr.base)}"
+            f"[{print_expr(expr.msb)}{expr.mode}{print_expr(expr.lsb)}]"
+        )
+    if isinstance(expr, ast.Concat):
+        return "{" + ", ".join(print_expr(p) for p in expr.parts) + "}"
+    if isinstance(expr, ast.Repeat):
+        return "{" + print_expr(expr.count) + "{" + print_expr(expr.value) + "}}"
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}({print_expr(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, ast.Ternary):
+        return (
+            f"({print_expr(expr.cond)} ? {print_expr(expr.if_true)}"
+            f" : {print_expr(expr.if_false)})"
+        )
+    if isinstance(expr, ast.SysCall):
+        if not expr.args:
+            return expr.name
+        return expr.name + "(" + ", ".join(print_expr(a) for a in expr.args) + ")"
+    raise TypeError(f"cannot print expression node {type(expr).__name__}")
+
+
+def _attr_text(attributes) -> str:
+    if not attributes:
+        return ""
+    rendered = []
+    for name, value in attributes:
+        if value is None:
+            rendered.append(name)
+        else:
+            rendered.append(f"{name} = {print_expr(value)}")
+    return "(* " + ", ".join(rendered) + " *) "
+
+
+def print_stmt(stmt: ast.Stmt, indent: int = 0) -> List[str]:
+    """Render a statement as a list of indented lines."""
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Assign):
+        op = "=" if stmt.blocking else "<="
+        return [f"{pad}{print_expr(stmt.lhs)} {op} {print_expr(stmt.rhs)};"]
+    if isinstance(stmt, ast.NullStmt):
+        return [f"{pad};"]
+    if isinstance(stmt, ast.SysTask):
+        if stmt.args:
+            args = ", ".join(print_expr(a) for a in stmt.args)
+            return [f"{pad}{stmt.name}({args});"]
+        return [f"{pad}{stmt.name};"]
+    if isinstance(stmt, ast.Block):
+        label = f" : {stmt.name}" if stmt.name else ""
+        lines = [f"{pad}begin{label}"]
+        for inner in stmt.stmts:
+            lines.extend(print_stmt(inner, indent + 1))
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(stmt, ast.ForkJoin):
+        label = f" : {stmt.name}" if stmt.name else ""
+        lines = [f"{pad}fork{label}"]
+        for inner in stmt.stmts:
+            lines.extend(print_stmt(inner, indent + 1))
+        lines.append(f"{pad}join")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({print_expr(stmt.cond)})"]
+        lines.extend(print_stmt(stmt.then_stmt or ast.NullStmt(), indent + 1))
+        if stmt.else_stmt is not None:
+            lines.append(f"{pad}else")
+            lines.extend(print_stmt(stmt.else_stmt, indent + 1))
+        return lines
+    if isinstance(stmt, ast.Case):
+        lines = [f"{pad}{stmt.kind} ({print_expr(stmt.expr)})"]
+        for item in stmt.items:
+            if item.labels:
+                head = ", ".join(print_expr(lbl) for lbl in item.labels)
+            else:
+                head = "default"
+            if item.stmt is None:
+                lines.append(f"{_INDENT * (indent + 1)}{head}: ;")
+            else:
+                lines.append(f"{_INDENT * (indent + 1)}{head}:")
+                lines.extend(print_stmt(item.stmt, indent + 2))
+        lines.append(f"{pad}endcase")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = f"{print_expr(stmt.init.lhs)} = {print_expr(stmt.init.rhs)}"
+        step = f"{print_expr(stmt.step.lhs)} = {print_expr(stmt.step.rhs)}"
+        lines = [f"{pad}for ({init}; {print_expr(stmt.cond)}; {step})"]
+        lines.extend(print_stmt(stmt.body or ast.NullStmt(), indent + 1))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{pad}while ({print_expr(stmt.cond)})"]
+        lines.extend(print_stmt(stmt.body or ast.NullStmt(), indent + 1))
+        return lines
+    if isinstance(stmt, ast.RepeatStmt):
+        lines = [f"{pad}repeat ({print_expr(stmt.count)})"]
+        lines.extend(print_stmt(stmt.body or ast.NullStmt(), indent + 1))
+        return lines
+    if isinstance(stmt, ast.DelayStmt):
+        head = f"{pad}#{print_expr(stmt.delay)}"
+        if stmt.stmt is None:
+            return [f"{head};"]
+        inner = print_stmt(stmt.stmt, indent)
+        inner[0] = f"{head} {inner[0].lstrip()}"
+        return inner
+    raise TypeError(f"cannot print statement node {type(stmt).__name__}")
+
+
+def _print_sensitivity(sens: Union[tuple, str]) -> str:
+    if sens == ast.STAR:
+        return "@(*)"
+    events = []
+    for event in sens:
+        if event.edge == "any":
+            events.append(print_expr(event.expr))
+        else:
+            events.append(f"{event.edge} {print_expr(event.expr)}")
+    return "@(" + " or ".join(events) + ")"
+
+
+def print_item(item: ast.Item, indent: int = 1) -> List[str]:
+    """Render a module item as a list of indented lines."""
+    pad = _INDENT * indent
+    if isinstance(item, ast.Decl):
+        parts = [_attr_text(item.attributes)]
+        if item.direction:
+            parts.append(item.direction + " ")
+        if item.kind != "wire" or not item.direction:
+            parts.append(item.kind + " ")
+        if item.signed and item.kind != "integer":
+            parts.append("signed ")
+        if item.range is not None and item.kind != "integer":
+            parts.append(f"[{print_expr(item.range.msb)}:{print_expr(item.range.lsb)}] ")
+        parts.append(item.name)
+        for dim in item.unpacked:
+            parts.append(f" [{print_expr(dim.msb)}:{print_expr(dim.lsb)}]")
+        if item.init is not None:
+            parts.append(f" = {print_expr(item.init)}")
+        return [pad + "".join(parts) + ";"]
+    if isinstance(item, ast.ContinuousAssign):
+        return [f"{pad}assign {print_expr(item.lhs)} = {print_expr(item.rhs)};"]
+    if isinstance(item, ast.Always):
+        lines = [f"{pad}always {_print_sensitivity(item.sensitivity)}"]
+        lines.extend(print_stmt(item.stmt, indent + 1))
+        return lines
+    if isinstance(item, ast.Initial):
+        lines = [f"{pad}initial"]
+        lines.extend(print_stmt(item.stmt, indent + 1))
+        return lines
+    if isinstance(item, ast.Instance):
+        head = item.module
+        if item.params:
+            params = ", ".join(_conn_text(c) for c in item.params)
+            head += f" #({params})"
+        ports = ", ".join(_conn_text(c) for c in item.ports)
+        return [f"{pad}{head} {item.name}({ports});"]
+    raise TypeError(f"cannot print item node {type(item).__name__}")
+
+
+def _conn_text(conn: ast.PortConn) -> str:
+    expr = "" if conn.expr is None else print_expr(conn.expr)
+    if conn.name is None:
+        return expr
+    return f".{conn.name}({expr})"
+
+
+def print_module(module: ast.Module) -> str:
+    """Render a module definition as Verilog source text."""
+    # Header port declarations are printed in the body (classic style) so
+    # that a parse→print round trip is stable regardless of input style.
+    lines = [f"module {module.name}(" + ", ".join(module.ports) + ");"]
+    for item in module.items:
+        lines.extend(print_item(item))
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def print_source(source: ast.SourceFile) -> str:
+    """Render a full source file."""
+    return "\n".join(print_module(m) for m in source.modules)

@@ -1,0 +1,155 @@
+"""AmorphOS substrate tests: hull, Morphlets, zones, CntrlReg."""
+
+import pytest
+
+from repro.amorphos import (
+    Hull, Morphlet, ProtectionDomain, ProtectionError, RegisterMap,
+    WORD_BITS, ZoneAllocator,
+)
+from repro.core import compile_program
+from repro.fabric import DE10
+from repro.fabric.synth import ResourceEstimate
+
+SRC = """
+module app(input wire clock);
+  reg [63:0] a;
+  reg [127:0] b;
+  reg [7:0] mem [0:7];
+  always @(posedge clock) a <= a + 1;
+endmodule
+"""
+
+
+@pytest.fixture
+def program():
+    return compile_program(SRC)
+
+
+class TestRegisterMap:
+    def test_layout_is_word_granular(self):
+        reg_map = RegisterMap.build([("a", 64), ("b", 128), ("c", 1)])
+        assert reg_map.address_of("a") == 0
+        assert reg_map.address_of("b") == 1
+        assert reg_map.words_of("b") == 2
+        assert reg_map.address_of("c") == 3
+        assert reg_map.words == 4
+
+    def test_deterministic(self):
+        pairs = [("x", 32), ("y", 96)]
+        assert RegisterMap.build(pairs).entries == RegisterMap.build(pairs).entries
+
+
+class TestMorphlet:
+    def test_create_builds_register_map(self, program):
+        domain = ProtectionDomain("tenant")
+        morphlet = Morphlet.create(domain, program)
+        assert morphlet.port.reg_map.words >= (64 + 128 + 64) // WORD_BITS
+
+    def test_quiescence_detection(self, program):
+        domain = ProtectionDomain("tenant")
+        assert not Morphlet.create(domain, program).implements_quiescence
+
+    def test_cntrlreg_accounting(self, program):
+        morphlet = Morphlet.create(ProtectionDomain("t"), program)
+        words = morphlet.port.read_words("b")
+        assert words == 2
+        assert morphlet.port.stats.reads == 2
+
+
+class TestZones:
+    def test_spatial_until_full(self):
+        zones = ZoneAllocator(DE10)
+        small = ResourceEstimate(luts=10_000, ffs=10_000)
+        placement1 = zones.try_place(1, small)
+        assert placement1.spatial
+        huge = ResourceEstimate(luts=DE10.luts, ffs=100)
+        placement2 = zones.try_place(2, huge)
+        assert not placement2.spatial
+        assert 2 in zones.timeshared
+
+    def test_release_frees_capacity(self):
+        zones = ZoneAllocator(DE10)
+        big = ResourceEstimate(luts=90_000, ffs=1000)
+        assert zones.try_place(1, big).spatial
+        assert not zones.try_place(2, big).spatial
+        zones.release(1)
+        assert zones.try_place(3, big).spatial
+
+    def test_hull_overhead_reserved(self):
+        zones = ZoneAllocator(DE10)
+        assert zones.budget_luts < DE10.luts
+
+    def test_utilization(self):
+        zones = ZoneAllocator(DE10)
+        zones.try_place(1, ResourceEstimate(luts=zones.budget_luts // 2, ffs=0))
+        assert 0.45 < zones.utilization() < 0.55
+
+
+class TestHull:
+    def test_load_and_access(self, program):
+        hull = Hull(DE10)
+        domain = ProtectionDomain("alice")
+        morphlet = hull.load(domain, program, ResourceEstimate(luts=100, ffs=100))
+        assert hull.access(domain, morphlet.morphlet_id) is morphlet
+
+    def test_cross_domain_access_denied(self, program):
+        hull = Hull(DE10)
+        alice, bob = ProtectionDomain("alice"), ProtectionDomain("bob")
+        morphlet = hull.load(alice, program, ResourceEstimate(luts=1, ffs=1))
+        with pytest.raises(ProtectionError):
+            hull.access(bob, morphlet.morphlet_id)
+
+    def test_same_name_different_domain_still_denied(self, program):
+        """Domains are principals, not names."""
+        hull = Hull(DE10)
+        alice1, alice2 = ProtectionDomain("alice"), ProtectionDomain("alice")
+        morphlet = hull.load(alice1, program, ResourceEstimate(luts=1, ffs=1))
+        with pytest.raises(ProtectionError):
+            hull.access(alice2, morphlet.morphlet_id)
+
+    def test_unload(self, program):
+        hull = Hull(DE10)
+        domain = ProtectionDomain("alice")
+        morphlet = hull.load(domain, program, ResourceEstimate(luts=1, ffs=1))
+        hull.unload(domain, morphlet.morphlet_id)
+        with pytest.raises(ProtectionError):
+            hull.access(domain, morphlet.morphlet_id)
+
+    def test_unload_foreign_denied(self, program):
+        hull = Hull(DE10)
+        alice, eve = ProtectionDomain("alice"), ProtectionDomain("eve")
+        morphlet = hull.load(alice, program, ResourceEstimate(luts=1, ffs=1))
+        with pytest.raises(ProtectionError):
+            hull.unload(eve, morphlet.morphlet_id)
+
+    def test_quiescence_capture_set_without_protocol(self, program):
+        hull = Hull(DE10)
+        domain = ProtectionDomain("alice")
+        morphlet = hull.load(domain, program, ResourceEstimate(luts=1, ffs=1))
+        names = hull.request_quiescence(morphlet.morphlet_id, lambda: True)
+        # No $yield in the app: everything is captured.
+        assert set(names) == {"a", "b", "mem"}
+
+    def test_quiescence_waits_for_yield(self):
+        yielding = compile_program("""
+            module app(input wire clock);
+              (* non_volatile *) reg [31:0] keep;
+              reg [31:0] scratch;
+              always @(posedge clock) begin
+                scratch <= keep;
+                $yield;
+              end
+            endmodule
+        """)
+        hull = Hull(DE10)
+        domain = ProtectionDomain("alice")
+        morphlet = hull.load(domain, yielding, ResourceEstimate(luts=1, ffs=1))
+        polls = []
+
+        def wait():
+            polls.append(1)
+            return len(polls) >= 3
+
+        names = hull.request_quiescence(morphlet.morphlet_id, wait)
+        assert len(polls) == 3           # waited for the yield
+        assert names == ["keep"]          # captures only non-volatile

@@ -1,0 +1,90 @@
+"""bitcoin benchmark: bit-exact against hashlib."""
+
+import pytest
+
+from repro.bench import bitcoin
+from repro.core import compile_program
+from repro.interp import Simulator, TaskHost
+from repro.verilog import flatten, parse
+
+
+def fresh_sim(target, quiescence=False):
+    src = parse(bitcoin.source(target=target, quiescence=quiescence))
+    return Simulator(flatten(src, "bitcoin"), TaskHost())
+
+
+class TestReference:
+    def test_digest_matches_hashlib(self):
+        import hashlib
+        import struct
+
+        digest = bitcoin.reference_digest(bitcoin.DEFAULT_DATA, 5)
+        manual = hashlib.sha256(
+            hashlib.sha256(bitcoin.DEFAULT_DATA + struct.pack(">I", 5)).digest()
+        ).digest()
+        assert digest == manual
+
+    def test_find_nonce_easy_target(self):
+        nonce = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, 1 << 252)
+        assert int.from_bytes(
+            bitcoin.reference_digest(bitcoin.DEFAULT_DATA, nonce), "big"
+        ) < (1 << 252)
+
+
+class TestHardwareSha:
+    def test_miner_finds_reference_nonce(self):
+        target = 1 << 252
+        expected = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, target)
+        sim = fresh_sim(target)
+        sim.tick(cycles=expected + 2)
+        assert sim.get("found") == 1
+        assert sim.get("found_nonce") == expected
+
+    def test_digest_register_is_bit_exact(self):
+        sim = fresh_sim(target=1)  # never found: keep mining
+        sim.tick(cycles=3)
+        # After tick k the digest register holds double-SHA(data||k-1).
+        expected = int.from_bytes(
+            bitcoin.reference_digest(bitcoin.DEFAULT_DATA, 2), "big"
+        )
+        assert sim.get("digest") == expected
+
+    def test_miner_stops_after_found(self):
+        target = 1 << 252
+        expected = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, target)
+        sim = fresh_sim(target)
+        sim.tick(cycles=expected + 10)
+        assert sim.get("found_nonce") == expected  # not overwritten
+
+    def test_custom_data_block(self):
+        data = bytes(range(100, 132))
+        target = 1 << 252
+        expected = bitcoin.find_nonce(data, target)
+        src = parse(bitcoin.source(data=data, target=target))
+        sim = Simulator(flatten(src, "bitcoin"), TaskHost())
+        sim.tick(cycles=expected + 2)
+        assert sim.get("found_nonce") == expected
+
+    def test_bad_data_length_rejected(self):
+        with pytest.raises(ValueError):
+            bitcoin.source(data=b"short")
+
+
+class TestQuiescenceVariant:
+    def test_volatile_fraction_matches_paper(self):
+        program = compile_program(bitcoin.source(quiescence=True))
+        assert program.state.uses_yield
+        # paper: ~96% of bitcoin's state is volatile
+        assert 0.85 <= program.state.volatile_fraction <= 0.99
+
+    def test_nonvolatile_set(self):
+        program = compile_program(bitcoin.source(quiescence=True))
+        captured = set(program.state.captured_names())
+        assert captured == {"nonce", "found_nonce", "found", "target"}
+
+    def test_quiescent_variant_still_mines(self):
+        target = 1 << 252
+        expected = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, target)
+        sim = fresh_sim(target, quiescence=True)
+        sim.tick(cycles=expected + 2)
+        assert sim.get("found_nonce") == expected

@@ -1,0 +1,155 @@
+"""mips32 benchmark: assembler and CPU correctness."""
+
+import pytest
+
+from repro.bench import mips32
+from repro.interp import Simulator, TaskHost
+from repro.verilog import flatten, parse
+
+
+class TestAssembler:
+    def test_rtype_encoding(self):
+        word = mips32.assemble(["add $3, $1, $2"])[0]
+        assert word == (1 << 21) | (2 << 16) | (3 << 11) | 0x20
+
+    def test_itype_encoding(self):
+        word = mips32.assemble(["addi $5, $0, 42"])[0]
+        assert word == (0x08 << 26) | (5 << 16) | 42
+
+    def test_negative_immediate(self):
+        word = mips32.assemble(["addi $1, $0, -1"])[0]
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_memory_operands(self):
+        word = mips32.assemble(["lw $2, 8($3)"])[0]
+        assert word == (0x23 << 26) | (3 << 21) | (2 << 16) | 8
+
+    def test_shift_encoding(self):
+        word = mips32.assemble(["sll $2, $1, 4"])[0]
+        assert word == (1 << 16) | (2 << 11) | (4 << 6)
+
+    def test_branch_label_backward(self):
+        words = mips32.assemble([
+            "top: addi $1, $1, 1",
+            "beq $0, $0, top",
+        ])
+        # offset = top(0) - (1+1) = -2
+        assert words[1] & 0xFFFF == 0xFFFE
+
+    def test_jump_label(self):
+        words = mips32.assemble([
+            "addi $1, $0, 0",
+            "loop: j loop",
+        ])
+        assert words[1] == (0x02 << 26) | 1
+
+    def test_comments_and_blank_lines(self):
+        words = mips32.assemble(["  # just a comment", "", "addi $1, $0, 1"])
+        assert len(words) == 1
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(mips32.AsmError):
+            mips32.assemble(["frobnicate $1, $2"])
+
+
+class TestCpu:
+    def run_program(self, lines, ticks):
+        """Assemble arbitrary code into the CPU's imem and run it."""
+        program_words = mips32.assemble(lines)
+        src = mips32.source()
+        sim = Simulator(flatten(parse(src), "mips32"), TaskHost())
+        # Overwrite the embedded program.
+        for i in range(64):
+            sim.store.mem_set("imem", i,
+                              program_words[i] if i < len(program_words) else 0)
+        sim.store.set("pc", 0)
+        sim.tick(cycles=ticks)
+        return sim
+
+    def test_addi_add_sub(self):
+        sim = self.run_program([
+            "addi $1, $0, 10",
+            "addi $2, $0, 3",
+            "add $3, $1, $2",
+            "sub $4, $1, $2",
+            "loop: j loop",
+        ], 8)
+        assert sim.store.mem_get("regs", 3) == 13
+        assert sim.store.mem_get("regs", 4) == 7
+
+    def test_logic_ops(self):
+        sim = self.run_program([
+            "addi $1, $0, 0xF0",
+            "addi $2, $0, 0xFF",
+            "and $3, $1, $2",
+            "or $4, $1, $2",
+            "ori $5, $0, 0xABC",
+            "loop: j loop",
+        ], 8)
+        assert sim.store.mem_get("regs", 3) == 0xF0
+        assert sim.store.mem_get("regs", 4) == 0xFF
+        assert sim.store.mem_get("regs", 5) == 0xABC
+
+    def test_slt_and_branches(self):
+        sim = self.run_program([
+            "addi $1, $0, 5",
+            "addi $2, $0, 9",
+            "slt $3, $1, $2",     # 1
+            "beq $3, $0, skip",   # not taken
+            "addi $4, $0, 111",
+            "skip: addi $5, $0, 7",
+            "loop: j loop",
+        ], 10)
+        assert sim.store.mem_get("regs", 3) == 1
+        assert sim.store.mem_get("regs", 4) == 111
+        assert sim.store.mem_get("regs", 5) == 7
+
+    def test_memory_roundtrip(self):
+        sim = self.run_program([
+            "addi $1, $0, 77",
+            "sw $1, 100($0)",
+            "lw $2, 100($0)",
+            "loop: j loop",
+        ], 8)
+        assert sim.store.mem_get("regs", 2) == 77
+        assert sim.store.mem_get("dmem", 25) == 77  # byte 100 / 4
+
+    def test_reg_zero_is_hardwired(self):
+        sim = self.run_program([
+            "addi $0, $0, 99",
+            "add $1, $0, $0",
+            "loop: j loop",
+        ], 6)
+        assert sim.store.mem_get("regs", 1) == 0
+
+    def test_shifts(self):
+        sim = self.run_program([
+            "addi $1, $0, 1",
+            "sll $2, $1, 6",
+            "srl $3, $2, 2",
+            "loop: j loop",
+        ], 8)
+        assert sim.store.mem_get("regs", 2) == 64
+        assert sim.store.mem_get("regs", 3) == 16
+
+    def test_instret_counts(self):
+        sim = self.run_program(["loop: j loop"], 5)
+        assert sim.get("instret") == 5
+
+
+class TestSortWorkload:
+    def test_first_sort_matches_reference(self):
+        sim = Simulator(flatten(parse(mips32.source()), "mips32"), TaskHost())
+        ticks = 0
+        while sim.store.mem_get("regs", 10) < 1 and ticks < 20000:
+            sim.tick()
+            ticks += 1
+        assert sim.store.mem_get("regs", 10) == 1
+        array = [sim.store.mem_get("dmem", 16 + i)
+                 for i in range(mips32.ARRAY_LEN)]
+        assert array == mips32.reference_sorted_array()
+
+    def test_workload_reruns_forever(self):
+        sim = Simulator(flatten(parse(mips32.source()), "mips32"), TaskHost())
+        sim.tick(cycles=6000)
+        assert sim.store.mem_get("regs", 10) >= 1  # keeps sorting

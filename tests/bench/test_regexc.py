@@ -1,0 +1,120 @@
+"""Tests for the regex -> DFA -> Verilog compiler (appendix A.7)."""
+
+import pytest
+
+from repro.bench import datagen
+from repro.bench.regexc import Dfa, RegexError, compile_dfa, reference_count, source
+from repro.interp import Simulator, TaskHost, VirtualFS
+from repro.verilog import flatten, parse
+
+
+def run_matcher(pattern, text, cycles=None):
+    vfs = VirtualFS()
+    vfs.add_file("regex_input.txt", text.encode())
+    host = TaskHost(vfs=vfs)
+    sim = Simulator(flatten(parse(source(pattern)), "regexc"), host)
+    sim.run(max_cycles=cycles or (len(text) + 5))
+    return sim, host
+
+
+class TestParser:
+    def test_unbalanced_paren(self):
+        with pytest.raises(RegexError):
+            compile_dfa("(ab")
+
+    def test_trailing_operator(self):
+        with pytest.raises(RegexError):
+            compile_dfa("*a")
+
+    def test_empty_branch(self):
+        with pytest.raises(RegexError):
+            compile_dfa("a|")
+
+    def test_bad_range(self):
+        with pytest.raises(RegexError):
+            compile_dfa("[z-a]")
+
+    def test_escapes(self):
+        dfa = compile_dfa(r"\*\[")
+        assert reference_count(r"\*\[", "*[ x *[") == 2
+
+
+class TestDfa:
+    def test_literal_chain_state_count(self):
+        dfa = compile_dfa("ACGT")
+        assert dfa.n_states == 5  # start + one per consumed char
+
+    def test_minimization_collapses_equivalent_branches(self):
+        # a(b|b)c has redundant alternatives: same DFA as abc.
+        assert compile_dfa("a(b|b)c").n_states == compile_dfa("abc").n_states
+
+    def test_star_loops(self):
+        dfa = compile_dfa("ab*c")
+        # start, after-a (loops on b), accept.
+        assert dfa.n_states == 3
+
+    def test_accepting_states_exist(self):
+        assert compile_dfa("x").accepting
+
+
+class TestReferenceCount:
+    CASES = [
+        ("abc", "abcabc", 2),
+        ("abc", "ab", 0),
+        ("a+", "aaab", 3),          # restart-after-match splits the run
+        ("ab*c", "ac abc abbbc", 3),
+        ("a(b|c)d", "abd acd aed", 2),
+        ("[0-9]+", "a1b22c", 3),    # 1, 2, 2 (restart after each digit)
+        # Reset semantics: a char that misses an edge resets the DFA and
+        # is NOT reconsidered as a potential match start.  So in
+        # "xy ay by", the space before 'b' enters [^x]'s first state and
+        # 'b' then resets — "by" is consumed, leaving only "ay".
+        ("[^x]y", "xy ay by", 1),
+        ("colou?r", "color colour", 2),
+        ("(ab)+", "ababab", 3),
+        # Same effect: the space after "az" absorbs the '.'; 'b' resets.
+        (".z", "az bz cz", 2),
+    ]
+
+    @pytest.mark.parametrize("pattern,text,expected", CASES)
+    def test_hand_cases(self, pattern, text, expected):
+        assert reference_count(pattern, text) == expected
+
+
+class TestGeneratedHardware:
+    @pytest.mark.parametrize("pattern,text", [
+        ("ACGT", "ACGTACGTAC"),
+        ("AC(G|T)*T", "ACGTTACGGT"),
+        ("A+C", "AAACAC"),
+        ("(AG|CT)+", "AGCTAGAG"),
+    ])
+    def test_matches_reference(self, pattern, text):
+        sim, host = run_matcher(pattern, text)
+        expected = reference_count(pattern, text)
+        assert f"{expected} matches" in host.display_log[-1], pattern
+
+    def test_long_random_stream(self):
+        text = datagen.regex_text(800)
+        pattern = "AC(G|T)T"
+        sim, host = run_matcher(pattern, text, cycles=1200)
+        expected = reference_count(pattern, text)
+        assert f"{expected} matches" in host.display_log[-1]
+
+    def test_module_compiles_through_pipeline(self):
+        from repro.core import compile_program
+
+        program = compile_program(source("AB*C"))
+        assert program.transform.has_traps  # fgetc/feof/display/finish
+
+    def test_custom_module_name(self):
+        text = source("AC", module_name="my_matcher")
+        assert "module my_matcher(" in text
+
+    def test_stock_benchmark_motif_agrees(self):
+        """The compiled 'ACG*T' matcher counts like the hand-written
+        benchmark's DFA on motif-only inputs."""
+        from repro.bench import regex as stock
+
+        text = "ACGT ACGGGT ACT AGT"
+        assert (reference_count("ACG*T", text)
+                == stock.reference_matches(text))

@@ -1,0 +1,163 @@
+"""regex / nw / adpcm / df benchmark correctness vs references."""
+
+import pytest
+
+from repro.bench import adpcm, datagen, df, nw, regex
+from repro.interp import Simulator, TaskHost, VirtualFS
+from repro.verilog import flatten, parse
+
+
+def run_bench(source_text, top, vfs=None, cycles=2000):
+    host = TaskHost(vfs=vfs or VirtualFS())
+    sim = Simulator(flatten(parse(source_text), top), host)
+    sim.run(max_cycles=cycles)
+    return sim, host
+
+
+class TestRegex:
+    def make(self, text):
+        vfs = VirtualFS()
+        vfs.add_file(regex.INPUT_PATH, text.encode())
+        return vfs
+
+    def test_counts_match_python_re(self):
+        text = datagen.regex_text(1500)
+        sim, host = run_bench(regex.source(), "regex", self.make(text))
+        expected = regex.reference_matches(text)
+        assert f"{expected} matches" in host.display_log[-1]
+
+    def test_simple_motifs(self):
+        cases = {
+            "ACT": 1,          # zero G's
+            "ACGT": 1,
+            "ACGGGGT": 1,
+            "ACACGT": 1,       # A-C restart then match
+            "AC": 0,
+            "ACTACT": 2,
+            "TTTT": 0,
+        }
+        for text, expected in cases.items():
+            sim, host = run_bench(regex.source(), "regex", self.make(text))
+            assert f"{expected} matches" in host.display_log[-1], text
+
+    def test_char_count(self):
+        text = "ACGTACGT"
+        sim, host = run_bench(regex.source(), "regex", self.make(text))
+        assert "8 chars" in host.display_log[-1]
+
+    def test_empty_input_finishes_immediately(self):
+        sim, host = run_bench(regex.source(), "regex", self.make(""))
+        assert host.finished
+        assert "0 matches in 0 chars" in host.display_log[-1]
+
+
+class TestNw:
+    def test_reference_score_identity(self):
+        assert nw.reference_score(b"ACGTACGT", b"ACGTACGT") == 8 * nw.MATCH
+
+    def test_reference_score_all_mismatch(self):
+        # Aligning two totally different equal-length strings: the DP may
+        # still prefer substitutions (8 * -1 = -8) over gaps.
+        assert nw.reference_score(b"AAAAAAAA", b"CCCCCCCC") == 8 * nw.MISMATCH
+
+    def test_hardware_matches_reference(self):
+        data = datagen.nw_pairs(25)
+        vfs = VirtualFS()
+        vfs.add_file(nw.INPUT_PATH, data)
+        sim, host = run_bench(nw.source(), "nw", vfs, cycles=60)
+        total, tiles = nw.reference_total(data)
+        assert f"{tiles} tiles" in host.display_log[-1]
+        assert f"score {total & 0xFFFFFFFF}" in host.display_log[-1]
+
+    def test_identical_sequences_score_max(self):
+        seq = b"ACGTACGT"
+        vfs = VirtualFS()
+        vfs.add_file(nw.INPUT_PATH, seq + seq)
+        sim, host = run_bench(nw.source(), "nw", vfs, cycles=10)
+        assert f"score {8 * nw.MATCH}" in host.display_log[-1]
+
+
+class TestAdpcm:
+    def test_reference_reconstruction_reasonable(self):
+        samples = datagen.adpcm_samples(200)
+        decoded, errsum = adpcm.encode_decode_reference(samples)
+        assert len(decoded) == 200
+        # ADPCM tracks the waveform: mean error well under the step size.
+        assert errsum / 200 < 2000
+
+    def test_hardware_matches_reference(self):
+        samples = datagen.adpcm_samples(150)
+        vfs = VirtualFS()
+        vfs.add_file(adpcm.INPUT_PATH, datagen.pack_u16(samples))
+        sim, host = run_bench(adpcm.source(), "adpcm", vfs, cycles=400)
+        _, errsum = adpcm.encode_decode_reference(samples)
+        assert f"150 samples, errsum {errsum}" in host.display_log[-1]
+
+    def test_progress_reports_emitted(self):
+        # Reports fire on rising samples at the interval boundary, so
+        # use a small interval and enough samples to see several.
+        samples = datagen.adpcm_samples(600)
+        vfs = VirtualFS()
+        vfs.add_file(adpcm.INPUT_PATH, datagen.pack_u16(samples))
+        sim, host = run_bench(adpcm.source(report_interval_log2=6),
+                              "adpcm", vfs, cycles=1500)
+        progress = [line for line in host.display_log if "progress" in line]
+        assert len(progress) >= 1
+
+    def test_step_table_is_standard_ima(self):
+        assert adpcm.STEP_TABLE[0] == 7
+        assert adpcm.STEP_TABLE[-1] == 32767
+        assert len(adpcm.STEP_TABLE) == 89
+        assert adpcm.STEP_TABLE == sorted(adpcm.STEP_TABLE)
+
+
+class TestDf:
+    def test_acc_matches_python_floats(self):
+        sim, host = run_bench(df.source(iters=48), "df", cycles=60)
+        got = df.bits_to_float(sim.get("acc"))
+        ref = df.reference_acc(48)
+        assert abs(got - ref) / abs(ref) < 1e-10
+
+    def test_different_seeds_diverge(self):
+        sim_a, _ = run_bench(df.source(iters=16, seed=1), "df", cycles=20)
+        sim_b, _ = run_bench(df.source(iters=16, seed=2), "df", cycles=20)
+        assert sim_a.get("acc") != sim_b.get("acc")
+
+    def test_finishes_and_reports(self):
+        sim, host = run_bench(df.source(iters=8), "df", cycles=20)
+        assert host.finished
+        assert "after 8 iters" in host.display_log[-1]
+
+    def test_float_bit_helpers_roundtrip(self):
+        for value in (1.0, 2.5, 1e-3, 12345.678):
+            assert df.bits_to_float(df.float_to_bits(value)) == value
+
+
+class TestDatagen:
+    def test_regex_text_alphabet(self):
+        text = datagen.regex_text(500)
+        assert set(text) <= set("ACGT")
+        assert len(text) == 500
+
+    def test_regex_text_deterministic(self):
+        assert datagen.regex_text(100, seed=3) == datagen.regex_text(100, seed=3)
+
+    def test_nw_pairs_shape(self):
+        data = datagen.nw_pairs(10, tile=8)
+        assert len(data) == 10 * 16
+        assert set(data) <= set(b"ACGT")
+
+    def test_nw_similarity_biases_matches(self):
+        similar = datagen.nw_pairs(50, similarity=95)
+        dissimilar = datagen.nw_pairs(50, similarity=5)
+        total_sim, _ = nw.reference_total(similar)
+        total_dis, _ = nw.reference_total(dissimilar)
+        assert total_sim > total_dis
+
+    def test_adpcm_samples_in_range(self):
+        samples = datagen.adpcm_samples(300)
+        assert all(0 <= s <= 65535 for s in samples)
+
+    def test_pack_helpers(self):
+        assert datagen.pack_u16([1, 2]) == b"\x00\x01\x00\x02"
+        assert datagen.pack_u32([1]) == b"\x00\x00\x00\x01"

@@ -1,0 +1,77 @@
+"""Control transformation tests (Figure 4 building blocks)."""
+
+from repro.core.control import (
+    ABI_CONT, ABI_NONE, TASK_NONE, EdgeDetector, abi_ports,
+    bookkeeping_decls, prev_name, prev_value_items, status_decls,
+)
+from repro.verilog import ast, print_expr, print_item
+
+
+class TestEdgeDetectors:
+    def test_posedge_wire(self):
+        det = EdgeDetector("clock", "posedge")
+        assert det.wire == "__pos_clock"
+        decls = det.decls()
+        assert decls[0].name == "__pos_clock"
+        assert "!(__p_clock) & clock" in print_expr(decls[0].init)
+
+    def test_negedge_wire(self):
+        det = EdgeDetector("rst", "negedge")
+        assert "__p_rst & !(rst)" in print_expr(det.decls()[0].init)
+
+    def test_anyedge_wire(self):
+        det = EdgeDetector("x", "any")
+        assert "__p_x != x" in print_expr(det.decls()[0].init)
+
+    def test_prev_name(self):
+        assert prev_name("clock") == "__p_clock"
+
+
+class TestPrevValueItems:
+    def test_register_and_update_block(self):
+        items = prev_value_items(["clock", "rst"])
+        decls = [i for i in items if isinstance(i, ast.Decl)]
+        always = [i for i in items if isinstance(i, ast.Always)]
+        assert {d.name for d in decls} == {"__p_clock", "__p_rst"}
+        assert len(always) == 1
+        # Non-blocking so the edge wires stay up for one native cycle.
+        for stmt in always[0].stmt.stmts:
+            assert not stmt.blocking
+
+    def test_empty_signal_list(self):
+        assert prev_value_items([]) == []
+
+
+class TestBookkeeping:
+    def test_state_initialised_to_final(self):
+        decls = bookkeeping_decls(final_state=9)
+        state = [d for d in decls if d.name == "__state"][0]
+        assert state.init.value == 9
+
+    def test_task_initialised_to_none(self):
+        decls = bookkeeping_decls(final_state=9)
+        task = [d for d in decls if d.name == "__task"][0]
+        assert task.init.value == TASK_NONE
+
+
+class TestStatusWires:
+    def test_all_four_declared(self):
+        names = {d.name for d in status_decls(final_state=5)}
+        assert names == {"__tasks", "__final", "__cont", "__done"}
+
+    def test_cont_formula(self):
+        decls = {d.name: d for d in status_decls(final_state=5)}
+        text = print_expr(decls["__cont"].init)
+        assert f"__abi == {ABI_CONT}" in text
+        assert "__final" in text and "__tasks" in text
+
+
+class TestAbiPorts:
+    def test_ports(self):
+        ports, decls = abi_ports()
+        assert ports == ["__clk", "__abi"]
+        assert decls[0].direction == "input"
+        assert decls[1].range is not None  # 6-bit command word
+
+    def test_command_encodings_distinct(self):
+        assert ABI_NONE != ABI_CONT

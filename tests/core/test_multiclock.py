@@ -1,0 +1,119 @@
+"""Multi-clock-domain soundness (§3.2: "these transformations are sound
+even for programs with multiple clock domains").
+
+The transformed machine must reproduce the original program's behaviour
+when two independent clocks are driven in arbitrary interleavings —
+including edges on both in the same logical step.
+"""
+
+import pytest
+
+from repro.core import compile_program
+from repro.fabric import DE10
+from repro.interp import Simulator, TaskHost
+from repro.runtime import DirectBoardBackend, SoftwareEngine, HardwareEngine, TrapServicer
+
+TWO_CLOCKS = """
+module m(input wire cka, input wire ckb);
+  reg [15:0] na = 0;
+  reg [15:0] nb = 0;
+  reg [15:0] cross = 0;
+  always @(posedge cka) begin
+    na <= na + 1;
+    cross <= cross + nb;
+  end
+  always @(posedge ckb) nb <= nb + 3;
+endmodule
+"""
+
+MIXED_EDGES = """
+module m(input wire clock, input wire rst);
+  reg [15:0] n = 0;
+  always @(posedge clock or negedge rst) begin
+    if (!rst)
+      n <= 0;
+    else
+      n <= n + 1;
+  end
+endmodule
+"""
+
+
+def hardware_engine(source):
+    program = compile_program(source)
+    backend = DirectBoardBackend(DE10)
+    placement = backend.place(program)
+    host = TaskHost()
+    channel = backend.channel(placement.engine_id)
+    engine = HardwareEngine(program, host, channel, placement.clock_hz,
+                            TrapServicer(host, program.env))
+    return program, engine
+
+
+class TestTwoClockDomains:
+    def drive(self, engine, schedule):
+        for clock in schedule:
+            engine.run_tick(clock)
+
+    @pytest.mark.parametrize("schedule", [
+        ["cka"] * 4,
+        ["ckb"] * 4,
+        ["cka", "ckb"] * 3,
+        ["cka", "cka", "ckb", "cka", "ckb", "ckb"],
+    ])
+    def test_interleavings_match_software(self, schedule):
+        program = compile_program(TWO_CLOCKS)
+        sw = SoftwareEngine(program, TaskHost())
+        _, hw = hardware_engine(TWO_CLOCKS)
+        for clock in schedule:
+            sw.run_tick(clock)
+            hw.run_tick(clock)
+        for var in ("na", "nb", "cross"):
+            assert hw.get(var) == sw.get(var), (var, schedule)
+
+    def test_simultaneous_edges(self):
+        """Both clocks rise in the same logical step: both conjuncts of
+        the merged core must run (the latched-guard mechanism)."""
+        program = compile_program(TWO_CLOCKS)
+        sw = SoftwareEngine(program, TaskHost())
+        _, hw = hardware_engine(TWO_CLOCKS)
+        for engine in (sw, hw):
+            engine.set("cka", 1)
+            engine.set("ckb", 1)
+        # The hardware machine saw both edges at its entry; force one
+        # evaluation round via a tick on an already-high clock pair.
+        sw.sim.step()
+        from repro.runtime.abi import Evaluate
+
+        hw.channel.send(Evaluate())
+        for engine in (sw, hw):
+            engine.set("cka", 0)
+            engine.set("ckb", 0)
+        assert hw.get("na") == sw.get("na") == 1
+        assert hw.get("nb") == sw.get("nb") == 3
+
+
+class TestMixedEdgeKinds:
+    def test_posedge_clock_negedge_reset(self):
+        program = compile_program(MIXED_EDGES)
+        sw = SoftwareEngine(program, TaskHost())
+        _, hw = hardware_engine(MIXED_EDGES)
+        for engine in (sw, hw):
+            engine.set("rst", 1)
+        for _ in range(3):
+            sw.run_tick("clock")
+            hw.run_tick("clock")
+        assert hw.get("n") == sw.get("n") == 3
+        # Async reset: a falling edge on rst clears the counter.
+        for engine in (sw, hw):
+            engine.set("rst", 0)
+        sw.sim.step()
+        from repro.runtime.abi import Evaluate
+
+        hw.channel.send(Evaluate())
+        assert hw.get("n") == sw.get("n") == 0
+
+    def test_guard_wires_generated_per_edge_kind(self):
+        program = compile_program(MIXED_EDGES)
+        assert "__pos_clock" in program.transform.guard_wires
+        assert "__neg_rst" in program.transform.guard_wires

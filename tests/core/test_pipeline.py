@@ -1,0 +1,60 @@
+"""Pipeline front-door tests."""
+
+import pytest
+
+from repro.core import compile_program
+from repro.verilog import parse, parse_module
+
+SRC = """
+module helper(input wire c, output wire o);
+  assign o = ~c;
+endmodule
+module top(input wire clock);
+  wire inv;
+  reg [7:0] n = 0;
+  helper h(.c(clock), .o(inv));
+  always @(posedge clock) n <= n + 1;
+endmodule
+"""
+
+
+class TestCompileProgram:
+    def test_from_text_default_top_is_last_module(self):
+        program = compile_program(SRC)
+        assert program.name == "top"
+
+    def test_explicit_top(self):
+        program = compile_program(SRC, top="helper")
+        assert program.name == "helper"
+
+    def test_from_parsed_source(self):
+        program = compile_program(parse(SRC))
+        assert program.name == "top"
+
+    def test_from_module(self):
+        mod = parse_module("module solo(input wire clock); endmodule")
+        program = compile_program(mod)
+        assert program.name == "solo"
+
+    def test_hierarchy_flattened(self):
+        program = compile_program(SRC)
+        assert program.flat.decl("h$o") is not None
+
+    def test_hardware_text_is_deterministic(self):
+        a = compile_program(SRC).hardware_text
+        b = compile_program(SRC).hardware_text
+        assert a == b
+
+    def test_hardware_text_differs_from_software_text(self):
+        program = compile_program(SRC)
+        assert program.hardware_text != program.software_text
+        assert "__state" in program.hardware_text
+        assert "__state" not in program.software_text
+
+    def test_state_report_attached(self):
+        program = compile_program(SRC)
+        assert any(v.name == "n" for v in program.state.variables)
+
+    def test_env_matches_flat_module(self):
+        program = compile_program(SRC)
+        assert program.env.signal("n").width == 8

@@ -1,0 +1,122 @@
+"""State identification and volatility analysis tests (§5.3, §6.3)."""
+
+from repro.core.statevars import analyze_state, task_nesting
+from repro.verilog import flatten, parse, parse_module
+
+
+def report_for(text):
+    source = parse(text)
+    return analyze_state(flatten(source, source.modules[-1].name))
+
+
+class TestCaptureSet:
+    def test_regs_and_memories_are_state(self):
+        report = report_for("""
+            module m(input wire clock);
+              reg [7:0] r;
+              integer i;
+              reg [31:0] mem [0:3];
+              wire [7:0] w = r + 1;
+            endmodule
+        """)
+        names = {v.name for v in report.variables}
+        assert names == {"r", "i", "mem"}
+
+    def test_bit_accounting(self):
+        report = report_for("""
+            module m(input wire clock);
+              reg [7:0] r;
+              reg [31:0] mem [0:3];
+            endmodule
+        """)
+        assert report.total_bits == 8 + 32 * 4
+
+    def test_transform_internals_excluded(self):
+        report = report_for("""
+            module m(input wire clock);
+              reg [7:0] __state;
+              reg [7:0] user;
+            endmodule
+        """)
+        assert {v.name for v in report.variables} == {"user"}
+
+
+class TestVolatility:
+    YIELDING = """
+        module m(input wire clock);
+          (* non_volatile *) reg [31:0] keep;
+          reg [31:0] scratch;
+          always @(posedge clock) begin
+            scratch <= keep;
+            $yield;
+          end
+        endmodule
+    """
+
+    def test_without_yield_everything_nonvolatile(self):
+        report = report_for("""
+            module m(input wire clock);
+              reg [31:0] a;
+              always @(posedge clock) a <= 1;
+            endmodule
+        """)
+        assert not report.uses_yield
+        assert report.volatile == []
+        assert report.captured_bits == report.total_bits
+
+    def test_with_yield_default_volatile(self):
+        report = report_for(self.YIELDING)
+        assert report.uses_yield
+        assert {v.name for v in report.volatile} == {"scratch"}
+        assert {v.name for v in report.non_volatile} == {"keep"}
+
+    def test_volatile_fraction(self):
+        report = report_for(self.YIELDING)
+        assert abs(report.volatile_fraction - 0.5) < 1e-9
+
+    def test_captured_names(self):
+        report = report_for(self.YIELDING)
+        assert report.captured_names() == ["keep"]
+
+
+class TestTaskNesting:
+    def test_no_tasks(self):
+        mod = parse_module("""
+            module m(input wire clock);
+              reg a;
+              always @(posedge clock) a <= 1;
+            endmodule
+        """)
+        assert task_nesting(mod) == 0
+
+    def test_top_level_task(self):
+        mod = parse_module("""
+            module m(input wire clock);
+              always @(posedge clock) $display(1);
+            endmodule
+        """)
+        assert task_nesting(mod) == 0
+
+    def test_nested_task_depth(self):
+        mod = parse_module("""
+            module m(input wire clock, input wire a, input wire b);
+              always @(posedge clock)
+                if (a)
+                  if (b)
+                    case (a)
+                      1: $display(1);
+                    endcase
+            endmodule
+        """)
+        assert task_nesting(mod) == 3
+
+    def test_deepest_wins(self):
+        mod = parse_module("""
+            module m(input wire clock, input wire a);
+              always @(posedge clock) begin
+                $display(0);
+                if (a) if (a) $display(1);
+              end
+            endmodule
+        """)
+        assert task_nesting(mod) == 2

@@ -1,0 +1,66 @@
+"""Device model tests."""
+
+import pytest
+
+from repro.fabric import DE10, F1, Device, device_by_name
+
+
+class TestBuiltins:
+    def test_lookup(self):
+        from repro.fabric import STRATIX10
+
+        assert device_by_name("de10") is DE10
+        assert device_by_name("f1") is F1
+        assert device_by_name("stratix10") is STRATIX10
+
+    def test_stratix10_is_intel_class(self):
+        """§5.1: same Avalon interface family as the DE10."""
+        from repro.fabric import STRATIX10
+
+        assert STRATIX10.host_interface == DE10.host_interface
+        assert STRATIX10.max_clock_hz > F1.max_clock_hz
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError):
+            device_by_name("vu19p")
+
+    def test_paper_ratios(self):
+        """§5.2: each F1 has 10x the LUTs and runs 5x faster."""
+        assert F1.luts == 10 * DE10.luts
+        assert F1.max_clock_hz == 5 * DE10.max_clock_hz
+
+    def test_f1_reconfigures_slower(self):
+        """§6.1: restart dips are wider on F1."""
+        assert F1.reconfig_seconds > DE10.reconfig_seconds
+
+
+class TestTiming:
+    def test_achievable_caps_at_max(self):
+        assert F1.achievable_hz(1) == F1.max_clock_hz
+
+    def test_achievable_decreases_with_depth(self):
+        assert F1.achievable_hz(30) < F1.achievable_hz(10)
+
+    def test_closed_picks_a_step(self):
+        assert F1.closed_hz(12) in F1.clock_steps_hz
+
+    def test_closed_monotone(self):
+        clocks = [F1.closed_hz(levels) for levels in (2, 10, 20, 40)]
+        assert clocks == sorted(clocks, reverse=True)
+
+    def test_close_margin_pushes_boundary_builds(self):
+        # A build just below a step closes at that step (§5.2's
+        # iterative effort), not one below.
+        raw_just_under = F1.clock_steps_hz[0] * 0.97
+        levels = int(1e9 / (raw_just_under * F1.lut_delay_ns))
+        assert F1.closed_hz(levels) == F1.clock_steps_hz[0]
+
+    def test_floor_step(self):
+        assert F1.closed_hz(10_000) == F1.clock_steps_hz[-1]
+
+
+class TestFits:
+    def test_fits(self):
+        assert DE10.fits(100_000, 200_000)
+        assert not DE10.fits(200_000, 10)
+        assert not DE10.fits(10, 10_000_000)

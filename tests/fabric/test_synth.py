@@ -1,0 +1,100 @@
+"""Synthesis estimator tests: the mechanisms behind Figures 13-15."""
+
+import pytest
+
+from repro.fabric.synth import ResourceEstimate, SynthOptions, Synthesizer
+from repro.verilog import WidthEnv, parse_module
+
+RAM_MOD = parse_module("""
+module ram_user(input wire clock, input wire [7:0] addr);
+  reg [31:0] mem [0:255];
+  reg [31:0] out;
+  always @(posedge clock) out <= mem[addr];
+endmodule
+""")
+
+DATAPATH_MOD = parse_module("""
+module dp(input wire [31:0] a, input wire [31:0] b, output wire [31:0] y);
+  assign y = (a * b) + (a >> 3);
+endmodule
+""")
+
+
+def estimate(mod, **opts):
+    return Synthesizer(SynthOptions(**opts)).estimate(mod, WidthEnv(mod))
+
+
+class TestMemories:
+    def test_preserved_memories_use_bram(self):
+        est = estimate(RAM_MOD, preserve_memories=True)
+        assert est.bram_bits == 32 * 256
+        assert est.ffs < 200
+
+    def test_ram_as_ff_blowup(self):
+        est = estimate(RAM_MOD, preserve_memories=False)
+        assert est.ffs >= 32 * 256
+        assert est.bram_bits == 0
+
+    def test_ram_as_ff_adds_mux_luts(self):
+        bram = estimate(RAM_MOD, preserve_memories=True)
+        ff = estimate(RAM_MOD, preserve_memories=False)
+        assert ff.luts > bram.luts * 2
+
+    def test_uncaptured_memory_stays_bram(self):
+        est = estimate(RAM_MOD, preserve_memories=False,
+                       captured_names=frozenset(["out"]))
+        assert est.bram_bits == 32 * 256
+
+    def test_deep_memory_hurts_timing_more(self):
+        est = estimate(RAM_MOD, preserve_memories=False)
+        assert est.ram_timing > 0
+
+
+class TestStateAccess:
+    def test_capture_tree_costs_resources(self):
+        base = estimate(DATAPATH_MOD)
+        capture = estimate(DATAPATH_MOD, state_access_bits=4096)
+        assert capture.ffs > base.ffs
+        assert capture.luts > base.luts
+
+    def test_more_bits_more_cost(self):
+        small = estimate(DATAPATH_MOD, state_access_bits=512)
+        big = estimate(DATAPATH_MOD, state_access_bits=8192)
+        assert big.ffs > small.ffs
+
+
+class TestControlStates:
+    def test_state_decode_luts(self):
+        base = estimate(DATAPATH_MOD)
+        ctrl = estimate(DATAPATH_MOD, control_states=24)
+        assert ctrl.luts > base.luts
+
+    def test_nested_tasks_deepen_path(self):
+        shallow = estimate(DATAPATH_MOD, control_states=18, task_nesting=1)
+        deep = estimate(DATAPATH_MOD, control_states=18, task_nesting=4)
+        assert deep.logic_levels > shallow.logic_levels
+
+
+class TestDeterminismAndKnobs:
+    def test_estimates_are_deterministic(self):
+        a = estimate(RAM_MOD, preserve_memories=False)
+        b = estimate(RAM_MOD, preserve_memories=False)
+        assert (a.luts, a.ffs, a.logic_levels) == (b.luts, b.ffs, b.logic_levels)
+
+    def test_anti_congestion_shortens_path(self):
+        plain = estimate(DATAPATH_MOD, control_states=30, task_nesting=4)
+        tuned = estimate(DATAPATH_MOD, control_states=30, task_nesting=4,
+                         anti_congestion=True)
+        assert tuned.logic_levels < plain.logic_levels
+
+    def test_detail_breakdown_sums_sanely(self):
+        est = estimate(RAM_MOD, preserve_memories=False, state_access_bits=1024)
+        assert "ram-as-ff" in est.detail
+        assert "capture-tree" in est.detail
+
+    def test_bigger_datapath_more_luts(self):
+        small = parse_module(
+            "module s(input wire [7:0] a, output wire [7:0] y);"
+            " assign y = a + 1; endmodule"
+        )
+        assert estimate(DATAPATH_MOD).luts > estimate(small).luts

@@ -1,0 +1,110 @@
+"""State-safe handshake (Figure 7) and migration orchestration tests."""
+
+import pytest
+
+from repro.core import compile_program
+from repro.fabric import DE10, F1, BitstreamCompiler, SimulatedBoard, SynthOptions
+from repro.hypervisor import migrate, resume, state_safe_reprogram, suspend
+from repro.runtime import DirectBoardBackend, Runtime
+
+COUNTER = """
+module counter(input wire clock, output wire [31:0] out);
+  reg [31:0] n = 0;
+  always @(posedge clock) n <= n + 1;
+  assign out = n;
+endmodule
+"""
+
+
+def programmed_board(program):
+    compiler = BitstreamCompiler(DE10, SynthOptions())
+    bitstream = compiler.compile(program.transform.module, program.hardware_text)
+    board = SimulatedBoard(DE10)
+    board.program(bitstream, {1: program})
+    return board, bitstream
+
+
+class TestHandshake:
+    def test_state_survives_reprogram(self):
+        program = compile_program(COUNTER)
+        board, bitstream = programmed_board(program)
+        board.run_ticks(1, "clock", 6)
+        report = state_safe_reprogram(board, bitstream, {1: program})
+        assert board.get_var(1, "n") == 6
+        assert report.engines_paused == 1
+        assert report.bits_saved > 0
+
+    def test_retired_engine_dropped(self):
+        program = compile_program(COUNTER)
+        board, bitstream = programmed_board(program)
+        board.run_ticks(1, "clock", 3)
+        # Reprogram WITHOUT engine 1: its state is discarded.
+        report = state_safe_reprogram(board, bitstream, {2: program})
+        assert 1 not in board.slots
+        assert board.get_var(2, "n") == 0
+        assert report.engines_paused == 0
+
+    def test_capture_set_narrows_transfer(self):
+        program = compile_program(COUNTER)
+        board, bitstream = programmed_board(program)
+        board.run_ticks(1, "clock", 2)
+        full = state_safe_reprogram(board, bitstream, {1: program})
+        narrow = state_safe_reprogram(
+            board, bitstream, {1: program}, capture_sets={1: ["n"]}
+        )
+        assert narrow.bits_saved < full.bits_saved
+        assert narrow.total_seconds < full.total_seconds
+
+    def test_new_engine_powers_up_fresh(self):
+        program = compile_program(COUNTER)
+        board, bitstream = programmed_board(program)
+        board.run_ticks(1, "clock", 4)
+        state_safe_reprogram(board, bitstream, {1: program, 2: program})
+        assert board.get_var(1, "n") == 4
+        assert board.get_var(2, "n") == 0
+
+
+class TestMigration:
+    def hardware_runtime(self, device):
+        runtime = Runtime(COUNTER)
+        runtime.attach(DirectBoardBackend(device))
+        runtime._hw_ready_at = runtime.sim_time
+        runtime.tick(1)
+        return runtime
+
+    def test_suspend_charges_time(self):
+        runtime = self.hardware_runtime(DE10)
+        runtime.tick(5)
+        t0 = runtime.sim_time
+        context = suspend(runtime)
+        assert runtime.sim_time > t0
+        assert context.state["n"] == 6
+
+    def test_migrate_moves_execution(self):
+        src_rt = self.hardware_runtime(DE10)
+        src_rt.tick(7)
+        dst_rt = self.hardware_runtime(F1)
+        report = migrate(src_rt, dst_rt)
+        assert report.state_bits == src_rt.program.state.total_bits
+        dst_rt.tick(2)
+        assert dst_rt.engine.get("n") == 10
+
+    def test_migration_report_latency_components(self):
+        src_rt = self.hardware_runtime(DE10)
+        src_rt.tick(3)
+        dst_rt = self.hardware_runtime(F1)
+        report = migrate(src_rt, dst_rt)
+        assert report.suspend_seconds > 0
+        assert report.resume_seconds > report.suspend_seconds  # reconfig
+        assert report.total_seconds == pytest.approx(
+            report.suspend_seconds + report.resume_seconds
+        )
+
+    def test_resume_into_software_runtime(self):
+        src_rt = self.hardware_runtime(DE10)
+        src_rt.tick(4)
+        context = suspend(src_rt)
+        sw_rt = Runtime(COUNTER)
+        resume(sw_rt, context)
+        sw_rt.tick(1)
+        assert sw_rt.engine.get("n") == 6

@@ -1,0 +1,200 @@
+"""Expression evaluator tests: 2-state semantics at Verilog widths."""
+
+import pytest
+
+from repro.interp.eval_expr import EvalError, Evaluator
+from repro.interp.store import Store
+from repro.verilog import WidthEnv, parse_expr, parse_module
+
+MOD = parse_module("""
+module m(input wire clock);
+  reg [7:0] a;
+  reg [7:0] b;
+  reg [15:0] w;
+  reg signed [7:0] s;
+  reg signed [7:0] t;
+  reg [31:0] mem [0:7];
+  reg bit1;
+endmodule
+""")
+
+
+@pytest.fixture
+def ev():
+    env = WidthEnv(MOD)
+    store = Store(env)
+    evaluator = Evaluator(env, store)
+    store.set("a", 0xF0)
+    store.set("b", 0x0F)
+    store.set("w", 0xBEEF)
+    store.set("s", 0xFF)  # -1
+    store.set("t", 0x02)
+    for i in range(8):
+        store.mem_set("mem", i, i * 10)
+    return evaluator
+
+
+class TestArithmetic:
+    def test_add_wraps_at_expression_width(self, ev):
+        # a + b at 8 bits: 0xF0 + 0x0F = 0xFF, then +1 wraps.
+        ev.store.set("b", 0x10)
+        assert ev.eval(parse_expr("a + b")) == 0x00
+
+    def test_add_with_wider_context_carries(self, ev):
+        ev.store.set("b", 0x10)
+        # In a 16-bit context the carry is preserved.
+        assert ev.eval(parse_expr("a + b"), context_width=16) == 0x100
+
+    def test_subtract_underflow(self, ev):
+        assert ev.eval(parse_expr("b - a")) == (0x0F - 0xF0) & 0xFF
+
+    def test_multiply_masks(self, ev):
+        assert ev.eval(parse_expr("a * b")) == (0xF0 * 0x0F) & 0xFF
+
+    def test_divide(self, ev):
+        assert ev.eval(parse_expr("a / b")) == 0xF0 // 0x0F
+
+    def test_divide_by_zero_is_all_ones(self, ev):
+        ev.store.set("b", 0)
+        assert ev.eval(parse_expr("a / b")) == 0xFF
+
+    def test_modulo(self, ev):
+        assert ev.eval(parse_expr("a % b")) == 0xF0 % 0x0F
+
+    def test_unary_minus(self, ev):
+        assert ev.eval(parse_expr("-b")) == (-0x0F) & 0xFF
+
+
+class TestBitwiseAndShifts:
+    def test_and_or_xor(self, ev):
+        assert ev.eval(parse_expr("a & b")) == 0x00
+        assert ev.eval(parse_expr("a | b")) == 0xFF
+        assert ev.eval(parse_expr("a ^ b")) == 0xFF
+
+    def test_invert(self, ev):
+        assert ev.eval(parse_expr("~a")) == 0x0F
+
+    def test_shift_left_masks(self, ev):
+        assert ev.eval(parse_expr("a << 4")) == 0x00
+        assert ev.eval(parse_expr("b << 4")) == 0xF0
+
+    def test_shift_right(self, ev):
+        assert ev.eval(parse_expr("a >> 4")) == 0x0F
+
+    def test_arithmetic_shift_right_signed(self, ev):
+        assert ev.eval(parse_expr("s >>> 2")) == 0xFF  # -1 >> 2 stays -1
+
+    def test_huge_shift_is_zero(self, ev):
+        assert ev.eval(parse_expr("a >> 5000")) == 0
+
+
+class TestComparisons:
+    def test_unsigned_compare(self, ev):
+        assert ev.eval_bool(parse_expr("a > b"))
+
+    def test_signed_compare(self, ev):
+        # s = -1, t = 2 as signed.
+        assert ev.eval_bool(parse_expr("s < t"))
+
+    def test_mixed_sign_compares_unsigned(self, ev):
+        # s (0xFF) vs unsigned a (0xF0): unsigned rules apply.
+        assert ev.eval_bool(parse_expr("s > a"))
+
+    def test_equality(self, ev):
+        assert ev.eval_bool(parse_expr("a == 8'hF0"))
+        assert ev.eval_bool(parse_expr("a != b"))
+
+
+class TestReductionsAndLogical:
+    def test_reduction_and(self, ev):
+        ev.store.set("a", 0xFF)
+        assert ev.eval(parse_expr("&a")) == 1
+        ev.store.set("a", 0xFE)
+        assert ev.eval(parse_expr("&a")) == 0
+
+    def test_reduction_or(self, ev):
+        assert ev.eval(parse_expr("|a")) == 1
+        ev.store.set("a", 0)
+        assert ev.eval(parse_expr("|a")) == 0
+
+    def test_reduction_xor_parity(self, ev):
+        ev.store.set("a", 0b1011)
+        assert ev.eval(parse_expr("^a")) == 1
+        ev.store.set("a", 0b1010)
+        assert ev.eval(parse_expr("^a")) == 0
+
+    def test_logical_short_circuit_semantics(self, ev):
+        assert ev.eval(parse_expr("a && b")) == 1
+        ev.store.set("b", 0)
+        assert ev.eval(parse_expr("a && b")) == 0
+        assert ev.eval(parse_expr("a || b")) == 1
+
+    def test_logical_not(self, ev):
+        assert ev.eval(parse_expr("!a")) == 0
+        ev.store.set("a", 0)
+        assert ev.eval(parse_expr("!a")) == 1
+
+
+class TestSelectsAndConcat:
+    def test_bit_select(self, ev):
+        assert ev.eval(parse_expr("a[7]")) == 1
+        assert ev.eval(parse_expr("a[0]")) == 0
+
+    def test_part_select(self, ev):
+        assert ev.eval(parse_expr("w[15:8]")) == 0xBE
+
+    def test_indexed_part_select_up(self, ev):
+        ev.store.set("b", 4)
+        assert ev.eval(parse_expr("w[b +: 4]")) == 0xE
+
+    def test_indexed_part_select_down(self, ev):
+        ev.store.set("b", 7)
+        assert ev.eval(parse_expr("w[b -: 8]")) == 0xEF
+
+    def test_out_of_range_select_is_zero(self, ev):
+        ev.store.set("b", 200)
+        assert ev.eval(parse_expr("a[b]")) == 0
+
+    def test_concat(self, ev):
+        assert ev.eval(parse_expr("{a, b}")) == 0xF00F
+
+    def test_replication(self, ev):
+        ev.store.set("bit1", 1)
+        assert ev.eval(parse_expr("{4{bit1}}")) == 0xF
+
+    def test_memory_read(self, ev):
+        assert ev.eval(parse_expr("mem[3]")) == 30
+
+    def test_memory_bare_reference_raises(self, ev):
+        with pytest.raises(EvalError):
+            ev.eval(parse_expr("mem"))
+
+
+class TestAssignment:
+    def test_whole_register(self, ev):
+        ev.assign(parse_expr("a"), 0x12)
+        assert ev.store.get("a") == 0x12
+
+    def test_bit(self, ev):
+        ev.assign(parse_expr("a[0]"), 1)
+        assert ev.store.get("a") == 0xF1
+
+    def test_part(self, ev):
+        ev.assign(parse_expr("w[7:0]"), 0xAA)
+        assert ev.store.get("w") == 0xBEAA
+
+    def test_memory_element(self, ev):
+        ev.assign(parse_expr("mem[2]"), 999)
+        assert ev.store.mem_get("mem", 2) == 999
+
+    def test_concat_lvalue_splits_msb_first(self, ev):
+        ev.assign(parse_expr("{a, b}"), 0x1234)
+        assert ev.store.get("a") == 0x12
+        assert ev.store.get("b") == 0x34
+
+    def test_assignment_masks_to_width(self, ev):
+        ev.assign(parse_expr("a"), 0x1FF)
+        assert ev.store.get("a") == 0xFF
+
+    def test_ternary_value(self, ev):
+        assert ev.eval(parse_expr("a > b ? 8'd1 : 8'd2")) == 1

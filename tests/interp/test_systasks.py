@@ -1,0 +1,218 @@
+"""System task tests: display formatting, file IO, control tasks."""
+
+import struct
+
+import pytest
+
+from repro.interp import Simulator, TaskHost, VirtualFS, verilog_format
+from repro.verilog import flatten, parse
+
+
+def run_module(text, host=None, cycles=50):
+    host = host or TaskHost()
+    source = parse(text)
+    sim = Simulator(flatten(source, source.modules[-1].name), host)
+    sim.run(max_cycles=cycles)
+    return sim, host
+
+
+class TestFormat:
+    def test_decimal(self):
+        assert verilog_format("%d", [42]) == "42"
+
+    def test_width_padding(self):
+        assert verilog_format("%5d", [42]) == "   42"
+
+    def test_zero_width(self):
+        assert verilog_format("%0d", [42]) == "42"
+
+    def test_hex_binary_octal(self):
+        assert verilog_format("%h %b %o", [255, 5, 8]) == "ff 101 10"
+
+    def test_char(self):
+        assert verilog_format("%c", [65]) == "A"
+
+    def test_string_passthrough(self):
+        assert verilog_format("%s!", ["hi"]) == "hi!"
+
+    def test_packed_string(self):
+        packed = (ord("o") << 8) | ord("k")
+        assert verilog_format("%s", [packed]) == "ok"
+
+    def test_percent_escape(self):
+        assert verilog_format("100%%", []) == "100%"
+
+    def test_missing_args_default_zero(self):
+        assert verilog_format("%d", []) == "0"
+
+
+class TestDisplayTasks:
+    def test_display_with_format(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              reg [7:0] x = 7;
+              always @(posedge clock) begin
+                $display("x=%0d", x);
+                $finish;
+              end
+            endmodule
+        """)
+        assert host.display_log[0] == "x=7"
+
+    def test_display_without_format_joins_values(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              always @(posedge clock) begin
+                $display(1, 2);
+                $finish;
+              end
+            endmodule
+        """)
+        assert host.display_log[0] == "1 2"
+
+    def test_write_buffers_until_display(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              always @(posedge clock) begin
+                $write("a");
+                $write("b");
+                $display("c");
+                $finish;
+              end
+            endmodule
+        """)
+        assert host.display_log[0] == "abc"
+
+    def test_unknown_task_is_nonfatal(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              always @(posedge clock) begin
+                $made_up_task(1);
+                $finish;
+              end
+            endmodule
+        """)
+        assert "unsupported" in host.display_log[0]
+
+
+class TestControlTasks:
+    def test_finish_stops_run(self):
+        sim, host = run_module("""
+            module m(input wire clock);
+              reg [7:0] n = 0;
+              always @(posedge clock) begin
+                n <= n + 1;
+                if (n == 3) $finish(2);
+              end
+            endmodule
+        """)
+        assert host.finished and host.finish_code == 2
+        assert sim.get("n") <= 5
+
+    def test_save_restart_flags(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              always @(posedge clock) begin
+                $save;
+                $finish;
+              end
+            endmodule
+        """)
+        assert host.save_requested
+
+    def test_yield_flag(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              always @(posedge clock) begin
+                $yield;
+                $finish;
+              end
+            endmodule
+        """)
+        assert host.yield_asserted
+
+
+class TestFileIO:
+    def make_host(self):
+        vfs = VirtualFS()
+        vfs.add_file("in.bin", struct.pack(">IIII", 10, 20, 30, 40))
+        vfs.add_file("text.txt", b"xyz")
+        return TaskHost(vfs=vfs)
+
+    def test_fopen_missing_file_returns_zero(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              integer fd;
+              always @(posedge clock) begin
+                fd = $fopen("missing.bin");
+                $finish;
+              end
+            endmodule
+        """)
+        # fd assigned 0 for missing read-mode file
+
+    def test_fread_sequence(self):
+        sim, host = run_module("""
+            module m(input wire clock);
+              integer fd = $fopen("in.bin");
+              reg [31:0] v = 0;
+              reg [63:0] total = 0;
+              always @(posedge clock) begin
+                $fread(fd, v);
+                if ($feof(fd)) $finish;
+                else total <= total + v;
+              end
+            endmodule
+        """, host=self.make_host())
+        assert sim.get("total") == 100
+
+    def test_fgetc(self):
+        sim, host = run_module("""
+            module m(input wire clock);
+              integer fd = $fopen("text.txt");
+              reg [31:0] c;
+              reg [31:0] count = 0;
+              always @(posedge clock) begin
+                c = $fgetc(fd);
+                if ($feof(fd)) $finish;
+                else count <= count + 1;
+              end
+            endmodule
+        """, host=self.make_host())
+        assert sim.get("count") == 3
+
+    def test_fwrite_captured(self):
+        _, host = run_module("""
+            module m(input wire clock);
+              integer fd = $fopen("out.txt", "w");
+              always @(posedge clock) begin
+                $fwrite(fd, "n=%0d", 5);
+                $fclose(fd);
+                $finish;
+              end
+            endmodule
+        """, host=self.make_host())
+        assert host.vfs.files["out.txt"] == b"n=5"
+
+    def test_readmemh(self):
+        host = TaskHost(vfs=VirtualFS())
+        host.vfs.add_file("image.hex", b"aa bb @4 cc")
+        sim, _ = run_module("""
+            module m(input wire clock);
+              reg [7:0] mem [0:7];
+              initial $readmemh("image.hex", mem);
+            endmodule
+        """, host=host)
+        assert sim.store.mem_get("mem", 0) == 0xAA
+        assert sim.store.mem_get("mem", 1) == 0xBB
+        assert sim.store.mem_get("mem", 4) == 0xCC
+
+
+class TestRandom:
+    def test_random_is_deterministic(self):
+        a = TaskHost(seed=5)
+        b = TaskHost(seed=5)
+        assert [a.random() for _ in range(4)] == [b.random() for _ in range(4)]
+
+    def test_seed_changes_stream(self):
+        assert TaskHost(seed=1).random() != TaskHost(seed=2).random()

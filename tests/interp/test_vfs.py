@@ -1,0 +1,109 @@
+"""Virtual filesystem tests: C-style EOF semantics and snapshots."""
+
+from repro.interp.vfs import VirtualFS
+
+
+class TestOpenClose:
+    def test_fopen_returns_distinct_descriptors(self):
+        vfs = VirtualFS()
+        vfs.add_file("a", b"x")
+        vfs.add_file("b", b"y")
+        fd1, fd2 = vfs.fopen("a"), vfs.fopen("b")
+        assert fd1 != fd2 and fd1 >= 3
+
+    def test_fopen_missing_read_fails(self):
+        assert VirtualFS().fopen("nope") == 0
+
+    def test_fopen_write_creates(self):
+        vfs = VirtualFS()
+        fd = vfs.fopen("new.txt", "w")
+        assert fd != 0
+        vfs.fwrite(fd, "hello")
+        vfs.fclose(fd)
+        assert vfs.files["new.txt"] == b"hello"
+
+    def test_fclose_unknown_fd_is_noop(self):
+        VirtualFS().fclose(42)
+
+
+class TestEofSemantics:
+    def test_eof_only_after_failed_read(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", bytes(8))
+        fd = vfs.fopen("d")
+        # Two full words consume the file exactly...
+        assert vfs.fread_word(fd, 32) is not None
+        assert vfs.fread_word(fd, 32) is not None
+        # ...but EOF is not yet raised (C semantics).
+        assert vfs.feof(fd) == 0
+        # The failing read raises it.
+        assert vfs.fread_word(fd, 32) is None
+        assert vfs.feof(fd) == 1
+
+    def test_short_read_sets_eof(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", b"\x01\x02")  # 2 bytes, need 4
+        fd = vfs.fopen("d")
+        assert vfs.fread_word(fd, 32) is None
+        assert vfs.feof(fd) == 1
+
+    def test_fgetc_eof_sentinel(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", b"A")
+        fd = vfs.fopen("d")
+        assert vfs.fgetc(fd) == ord("A")
+        assert vfs.fgetc(fd) == 0xFFFFFFFF
+        assert vfs.feof(fd) == 1
+
+    def test_feof_of_bad_fd(self):
+        assert VirtualFS().feof(99) == 1
+
+
+class TestWordReads:
+    def test_big_endian(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", b"\xDE\xAD\xBE\xEF")
+        fd = vfs.fopen("d")
+        assert vfs.fread_word(fd, 32) == 0xDEADBEEF
+
+    def test_width_rounds_up_to_bytes(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", b"\xAB\xCD")
+        fd = vfs.fopen("d")
+        assert vfs.fread_word(fd, 12) == 0xABCD  # 12 bits -> 2 bytes
+
+    def test_wide_read(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", bytes(range(16)))
+        fd = vfs.fopen("d")
+        value = vfs.fread_word(fd, 128)
+        assert value == int.from_bytes(bytes(range(16)), "big")
+
+
+class TestSnapshot:
+    def test_cursor_and_eof_survive(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", bytes(12))
+        fd = vfs.fopen("d")
+        vfs.fread_word(fd, 32)
+        snap = vfs.snapshot()
+
+        other = VirtualFS()
+        other.add_file("d", bytes(12))
+        other.restore(snap)
+        # Second word continues from the saved cursor.
+        assert other.fread_word(fd, 32) is not None
+        assert other.fread_word(fd, 32) is not None
+        assert other.fread_word(fd, 32) is None
+
+    def test_next_fd_survives(self):
+        vfs = VirtualFS()
+        vfs.add_file("d", b"ab")
+        vfs.fopen("d")
+        snap = vfs.snapshot()
+        other = VirtualFS()
+        other.add_file("d", b"ab")
+        other.add_file("e", b"cd")
+        other.restore(snap)
+        new_fd = other.fopen("e")
+        assert new_fd not in snap["paths"]

@@ -1,0 +1,83 @@
+"""Performance model and timeline tests."""
+
+import pytest
+
+from repro.core import compile_program
+from repro.fabric import DE10, F1
+from repro.perf import (
+    HwProfile, Series, format_series, profile_hardware, profile_software,
+)
+
+COUNTER = """
+module counter(input wire clock, output wire [31:0] out);
+  reg [31:0] n = 0;
+  always @(posedge clock) n <= n + 1;
+  assign out = n;
+endmodule
+"""
+
+
+class TestProfiles:
+    def test_counter_hits_three_cycle_floor(self):
+        program = compile_program(COUNTER)
+        profile = profile_hardware(program, DE10, ticks=16)
+        assert profile.cycles_per_tick == 3.0
+        assert profile.traps == 0
+
+    def test_virtual_hz_is_clock_over_cycles(self):
+        program = compile_program(COUNTER)
+        profile = profile_hardware(program, DE10, ticks=16)
+        assert profile.virtual_hz == pytest.approx(profile.clock_hz / 3.0)
+
+    def test_f1_faster_than_de10(self):
+        program = compile_program(COUNTER)
+        de10 = profile_hardware(program, DE10, ticks=8)
+        f1 = profile_hardware(program, F1, ticks=8)
+        assert f1.virtual_hz > de10.virtual_hz
+
+    def test_at_clock_rescales(self):
+        profile = HwProfile("f1", 250e6, 10, 30, 0, 0, 0.0)
+        half = profile.at_clock(125e6)
+        assert half.virtual_hz == pytest.approx(profile.virtual_hz / 2)
+
+    def test_software_profile(self):
+        program = compile_program(COUNTER)
+        profile = profile_software(program, ticks=8)
+        assert profile.ticks == 8
+        assert 0 < profile.virtual_hz < 1e6
+
+
+class TestSeries:
+    def test_phases_and_lookup(self):
+        series = Series("s", "u").phase(0, 10, 5.0).phase(10, 20, 7.0)
+        assert series.value_at(5) == 5.0
+        assert series.value_at(15) == 7.0
+        assert series.value_at(25) is None
+        assert series.t_end == 20
+
+    def test_ramp_is_monotone_geometric(self):
+        series = Series("s", "u").phase(0, 10, 100.0, ramp_to=1000.0)
+        values = [series.value_at(t) for t in (1, 4, 7, 9.5)]
+        assert values == sorted(values)
+        assert values[0] > 100.0 and values[-1] < 1000.0
+
+    def test_ramp_from_zero(self):
+        series = Series("s", "u").phase(0, 10, 0.0, ramp_to=100.0)
+        assert series.value_at(5) == pytest.approx(50.0)
+
+    def test_sampling(self):
+        series = Series("s", "u").phase(0, 4, 2.0)
+        points = series.sample(dt=1.0)
+        assert points[0] == (0.0, 2.0)
+        assert len(points) == 5
+
+    def test_mean_between(self):
+        series = Series("s", "u").phase(0, 10, 4.0)
+        assert series.mean_between(2, 8) == pytest.approx(4.0)
+
+    def test_format_series_renders_columns(self):
+        a = Series("alpha", "x/s").phase(0, 4, 1.0)
+        b = Series("beta", "y/s").phase(2, 4, 2.0)
+        text = format_series([a, b], dt=2.0)
+        assert "alpha" in text and "beta" in text
+        assert "-" in text  # beta undefined at t=0

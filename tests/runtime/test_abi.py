@@ -1,0 +1,56 @@
+"""ABI channel accounting tests."""
+
+import pytest
+
+from repro.runtime.abi import (
+    AbiChannel, Cont, Evaluate, Get, RunTicks, Set, Snapshot,
+)
+
+
+class Recorder:
+    def __init__(self):
+        self.seen = []
+
+    def handle(self, engine_id, message):
+        self.seen.append((engine_id, message))
+        return len(self.seen)
+
+
+class TestChannel:
+    def test_messages_forwarded_with_engine_id(self):
+        target = Recorder()
+        channel = AbiChannel(target, 7, 1e-6)
+        channel.send(Get("x"))
+        assert target.seen == [(7, Get("x"))]
+
+    def test_static_latency_accumulates(self):
+        channel = AbiChannel(Recorder(), 1, 2e-6)
+        for _ in range(5):
+            channel.send(Set("x", 1))
+        assert channel.stats.seconds == pytest.approx(1e-5)
+        assert channel.stats.messages == 5
+        assert channel.stats.sets == 5
+
+    def test_dynamic_latency_callable(self):
+        latencies = iter([1e-6, 5e-6, 9e-6])
+        channel = AbiChannel(Recorder(), 1, lambda: next(latencies))
+        channel.send(Get("a"))
+        channel.send(Get("b"))
+        assert channel.stats.seconds == pytest.approx(6e-6)
+
+    def test_counters_by_kind(self):
+        channel = AbiChannel(Recorder(), 1, 0.0)
+        channel.send(Get("a"))
+        channel.send(Set("a", 1))
+        channel.send(Evaluate())
+        channel.send(Cont())
+        channel.send(Snapshot())
+        assert channel.stats.gets == 1
+        assert channel.stats.sets == 1
+        assert channel.stats.evaluates == 2
+
+    def test_runticks_message_carries_budget(self):
+        target = Recorder()
+        channel = AbiChannel(target, 1, 0.0)
+        channel.send(RunTicks("clock", 64))
+        assert target.seen[0][1] == RunTicks("clock", 64)

@@ -1,0 +1,74 @@
+"""JIT policy tests: adaptive refinement and transition costs."""
+
+import pytest
+
+from repro.runtime.jit import AdaptiveRefinement, TransitionCosts
+
+
+class TestAdaptiveRefinement:
+    def test_grows_multiplicatively(self):
+        ref = AdaptiveRefinement()
+        start = ref.quantum
+        ref.on_smooth()
+        ref.on_smooth()
+        assert ref.quantum == start * 4
+
+    def test_caps_at_max(self):
+        ref = AdaptiveRefinement()
+        for _ in range(30):
+            ref.on_smooth()
+        assert ref.quantum == ref.max_quantum
+        assert ref.at_peak
+
+    def test_backs_off_under_contention(self):
+        ref = AdaptiveRefinement()
+        for _ in range(30):
+            ref.on_smooth()
+        ref.on_contention()
+        assert ref.quantum == ref.max_quantum // 2
+        assert not ref.at_peak
+
+    def test_floors_at_min(self):
+        ref = AdaptiveRefinement()
+        for _ in range(30):
+            ref.on_contention()
+        assert ref.quantum == ref.min_quantum
+
+    def test_reset(self):
+        ref = AdaptiveRefinement()
+        ref.on_smooth()
+        ref.reset()
+        assert ref.quantum == ref.min_quantum
+
+    def test_recovery_is_several_doublings(self):
+        """The Figure 11 recovery tail: from min to max takes log2 steps."""
+        import math
+
+        ref = AdaptiveRefinement()
+        steps = 0
+        while not ref.at_peak:
+            ref.on_smooth()
+            steps += 1
+        assert steps == math.ceil(math.log2(ref.max_quantum / ref.min_quantum))
+
+
+class TestTransitionCosts:
+    def test_save_scales_with_state(self):
+        costs = TransitionCosts()
+        assert costs.save_seconds(10_000) > costs.save_seconds(100)
+
+    def test_restore_includes_reconfiguration(self):
+        costs = TransitionCosts()
+        assert (costs.restore_seconds(1000, reconfig_seconds=4.0)
+                - costs.restore_seconds(1000, reconfig_seconds=0.0)) == pytest.approx(4.0)
+
+    def test_fixed_overhead_floor(self):
+        costs = TransitionCosts()
+        assert costs.save_seconds(0) == pytest.approx(costs.runtime_overhead_s)
+
+    def test_mips32_dips_deeper_than_bitcoin(self):
+        """The Figure 10 observation, from the model's own parameters."""
+        costs = TransitionCosts()
+        mips32_bits, bitcoin_bits = 11552, 5473
+        assert (costs.save_seconds(mips32_bits)
+                > costs.save_seconds(bitcoin_bits) + 1.0)

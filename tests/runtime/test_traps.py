@@ -1,0 +1,134 @@
+"""Trap servicer tests against a real board-backed channel."""
+
+import struct
+
+import pytest
+
+from repro.core import compile_program
+from repro.fabric import DE10
+from repro.interp import TaskHost, VirtualFS
+from repro.runtime import DirectBoardBackend, Runtime, TrapError, TrapServicer
+from repro.runtime.abi import Cont, Evaluate, Set
+
+
+def trap_fixture(source, vfs=None):
+    """Place a program, drive to its first trap, return plumbing."""
+    program = compile_program(source)
+    backend = DirectBoardBackend(DE10)
+    placement = backend.place(program)
+    host = TaskHost(vfs=vfs or VirtualFS())
+    channel = backend.channel(placement.engine_id)
+    servicer = TrapServicer(host, program.env)
+    # Apply software-side inits ($fopen results) like the JIT handoff.
+    from repro.runtime import SoftwareEngine
+
+    sw = SoftwareEngine(program, host)
+    state = sw.snapshot()
+    from repro.runtime.abi import Restore
+
+    channel.send(Restore(state))
+    channel.send(Set("clock", 1))
+    reply = channel.send(Evaluate())
+    return program, host, channel, servicer, reply
+
+
+class TestQueries:
+    def test_feof_query_written_back(self):
+        vfs = VirtualFS()
+        vfs.add_file("f.bin", struct.pack(">I", 7))
+        program, host, channel, servicer, reply = trap_fixture("""
+            module m(input wire clock);
+              integer fd = $fopen("f.bin");
+              reg [31:0] r = 0;
+              always @(posedge clock) begin
+                $fread(fd, r);
+                if ($feof(fd)) $finish;
+                else r <= r;
+              end
+            endmodule
+        """, vfs)
+        # First trap: the $fread.
+        site = program.transform.tasks[reply.task_id]
+        assert site.name == "$fread"
+        servicer.service(channel, site)
+        reply = channel.send(Cont())
+        # Second trap: the hoisted $feof query.
+        site = program.transform.tasks[reply.task_id]
+        assert site.kind == "query" and site.name == "$feof"
+        servicer.service(channel, site)
+        assert servicer.serviced == 2
+
+    def test_random_query(self):
+        program, host, channel, servicer, reply = trap_fixture("""
+            module m(input wire clock);
+              reg [31:0] x = 0;
+              always @(posedge clock) x <= $random;
+            endmodule
+        """)
+        site = program.transform.tasks[reply.task_id]
+        assert site.name == "$random"
+        servicer.service(channel, site)
+        channel.send(Cont())
+        # The value landed in the query register and latched into x via
+        # the update state; it must match the host's first random draw.
+        expected = TaskHost(seed=1).random()
+        from repro.runtime.abi import Get
+
+        assert channel.send(Get("x")) == expected
+
+    def test_unsupported_query_raises(self):
+        from repro.core.machinify import TaskSite
+
+        servicer = TrapServicer(TaskHost(), None)
+        with pytest.raises(TrapError):
+            servicer._service_query(None, TaskSite(1, "query", "$bogus", ()))
+
+
+class TestTasks:
+    def test_display_formats_from_hardware_state(self):
+        program, host, channel, servicer, reply = trap_fixture("""
+            module m(input wire clock);
+              reg [31:0] n = 0;
+              always @(posedge clock) begin
+                $display("value %0d!", n * 2 + 1);
+                n <= n + 1;
+              end
+            endmodule
+        """)
+        site = program.transform.tasks[reply.task_id]
+        servicer.service(channel, site)
+        assert host.display_log == ["value 1!"]
+
+    def test_finish_marks_host(self):
+        program, host, channel, servicer, reply = trap_fixture("""
+            module m(input wire clock);
+              always @(posedge clock) $finish(3);
+            endmodule
+        """)
+        servicer.service(channel, program.transform.tasks[reply.task_id])
+        assert host.finished and host.finish_code == 3
+
+    def test_save_requests_runtime_hook(self):
+        program, host, channel, servicer, reply = trap_fixture("""
+            module m(input wire clock);
+              always @(posedge clock) $save;
+            endmodule
+        """)
+        servicer.service(channel, program.transform.tasks[reply.task_id])
+        assert host.save_requested
+
+    def test_fwrite_reaches_vfs(self):
+        vfs = VirtualFS()
+        program, host, channel, servicer, reply = trap_fixture("""
+            module m(input wire clock);
+              integer fd = $fopen("log.txt", "w");
+              reg [7:0] n = 0;
+              always @(posedge clock) begin
+                $fwrite(fd, "%0d,", n);
+                n <= n + 1;
+              end
+            endmodule
+        """, vfs)
+        servicer.service(channel, program.transform.tasks[reply.task_id])
+        handle = list(host.vfs.open_files.values())[0]
+        assert bytes(handle.written) == b"0,"

@@ -1,0 +1,158 @@
+"""End-to-end integration scenarios across the whole stack."""
+
+import struct
+
+import pytest
+
+from repro.bench import bitcoin, datagen, regex
+from repro.core import compile_program
+from repro.fabric import DE10, F1
+from repro.hypervisor import Hypervisor, migrate
+from repro.interp import VirtualFS
+from repro.runtime import DirectBoardBackend, Runtime
+
+
+def to_hw(runtime, backend):
+    runtime.attach(backend)
+    runtime._hw_ready_at = runtime.sim_time
+    runtime.tick(1)
+    assert runtime.mode == "hardware"
+    return runtime
+
+
+class TestFileSumScenario:
+    """The paper's Figure 2 program, virtualized end to end."""
+
+    SRC = """
+        module summer(input wire clock);
+          integer fd = $fopen("numbers.bin");
+          reg [31:0] v = 0;
+          reg [63:0] total = 0;
+          always @(posedge clock) begin
+            $fread(fd, v);
+            if ($feof(fd)) begin
+              $display("%0d", total);
+              $finish(0);
+            end else
+              total <= total + v;
+          end
+        endmodule
+    """
+
+    def vfs_with(self, values):
+        vfs = VirtualFS()
+        vfs.add_file("numbers.bin",
+                     b"".join(struct.pack(">I", v) for v in values))
+        return vfs
+
+    def test_fully_software(self):
+        values = list(range(40))
+        runtime = Runtime(self.SRC, vfs=self.vfs_with(values))
+        runtime.tick(60)
+        assert runtime.host.display_log[-1] == str(sum(values))
+
+    def test_jit_mid_stream(self):
+        """Transition software -> hardware in the middle of the file."""
+        values = list(range(1, 41))
+        runtime = Runtime(self.SRC, vfs=self.vfs_with(values))
+        runtime.tick(10)  # software reads the first ten
+        to_hw(runtime, DirectBoardBackend(DE10))
+        runtime.tick(60)
+        assert runtime.finished
+        assert runtime.host.display_log[-1] == str(sum(values))
+
+    def test_migrate_mid_stream_across_architectures(self):
+        """Suspend on the DE10, resume on F1 — file cursor included."""
+        values = list(range(1, 31))
+        src_rt = Runtime(self.SRC, vfs=self.vfs_with(values))
+        to_hw(src_rt, DirectBoardBackend(DE10))
+        src_rt.tick(12)
+
+        dst_rt = Runtime(self.SRC)
+        to_hw(dst_rt, DirectBoardBackend(F1))
+        migrate(src_rt, dst_rt)
+        dst_rt.tick(60)
+        assert dst_rt.host.display_log[-1] == str(sum(values))
+
+
+class TestMinerScenario:
+    def test_migrate_to_stratix10(self):
+        """§5.1: the Intel backend covers the Stratix 10 with the same
+        code path as the DE10 — migration works across the family."""
+        from repro.fabric import STRATIX10
+
+        target = 1 << 251
+        expected = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, target)
+        source = bitcoin.source(target=target)
+        de10_rt = to_hw(Runtime(source), DirectBoardBackend(DE10))
+        de10_rt.tick(2)
+        s10_rt = to_hw(Runtime(source), DirectBoardBackend(STRATIX10))
+        migrate(de10_rt, s10_rt)
+        s10_rt.tick(expected + 4)
+        assert s10_rt.engine.get("found_nonce") == expected
+        assert s10_rt.placement.clock_hz > DE10.max_clock_hz
+
+    def test_search_unperturbed_by_migration(self):
+        target = 1 << 251
+        expected = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, target)
+        source = bitcoin.source(target=target)
+
+        de10_rt = to_hw(Runtime(source), DirectBoardBackend(DE10))
+        de10_rt.tick(max(1, expected // 3))
+        f1_rt = to_hw(Runtime(source), DirectBoardBackend(F1))
+        migrate(de10_rt, f1_rt)
+        f1_rt.tick(expected + 4)
+        assert f1_rt.engine.get("found") == 1
+        assert f1_rt.engine.get("found_nonce") == expected
+
+
+class TestSharedFabricScenario:
+    def test_streaming_tenants_with_arrival_and_departure(self):
+        hypervisor = Hypervisor(DE10)
+
+        vfs_a = VirtualFS()
+        text = datagen.regex_text(1200)
+        vfs_a.add_file(regex.INPUT_PATH, text.encode())
+        matcher = Runtime(regex.source(), vfs=vfs_a, name="a")
+        matcher.tick(1)
+        to_hw(matcher, hypervisor.connect("a"))
+        matcher.tick(30)
+        chars_before = matcher.engine.get("chars")
+
+        counter = Runtime("""
+            module c(input wire clock);
+              reg [31:0] n = 0;
+              always @(posedge clock) n <= n + 1;
+            endmodule
+        """, name="b")
+        client_b = hypervisor.connect("b")
+        to_hw(counter, client_b)
+        counter.tick(10)
+
+        # The matcher's stream survived the arrival handshake.
+        assert matcher.engine.get("chars") == chars_before
+        matcher.tick(30)
+        assert matcher.engine.get("chars") > chars_before
+
+        client_b.release(counter.placement.engine_id)
+        matcher.run_to_completion = matcher.tick(5000)
+        assert matcher.finished
+        expected = regex.reference_matches(text)
+        assert f"{expected} matches" in matcher.host.display_log[-1]
+
+
+class TestQuiescenceScenario:
+    def test_resume_from_nonvolatile_set_only(self):
+        target = 1 << 251
+        expected = bitcoin.find_nonce(bitcoin.DEFAULT_DATA, target)
+        program = compile_program(bitcoin.source(target=target, quiescence=True))
+
+        first = to_hw(Runtime(program), DirectBoardBackend(F1))
+        first.tick(max(2, expected // 2))
+        partial = first.engine.snapshot(program.state.captured_names())
+        assert set(partial) == {"nonce", "found_nonce", "found", "target"}
+
+        second = to_hw(Runtime(program), DirectBoardBackend(F1))
+        second.engine.restore(partial)
+        second.tick(expected + 4)
+        assert second.engine.get("found_nonce") == expected

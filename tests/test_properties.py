@@ -1,0 +1,280 @@
+"""Property-based tests (hypothesis) on core data structures and the
+central soundness invariant: transformed-on-board == original-in-sim.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import compile_program
+from repro.fabric import DE10
+from repro.interp import Simulator, TaskHost
+from repro.interp.store import Store
+from repro.interp.systasks import verilog_format
+from repro.runtime import DirectBoardBackend, Runtime
+from repro.verilog import (
+    WidthEnv, mask, parse_expr, parse_module, print_expr, to_signed,
+)
+from repro.verilog.lexer import parse_based_literal
+
+# ---------------------------------------------------------------------------
+# masks / two's complement
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=256))
+def test_mask_idempotent(value, width):
+    assert mask(mask(value, width), width) == mask(value, width)
+
+
+@given(st.integers(), st.integers(min_value=1, max_value=128))
+def test_to_signed_roundtrip(value, width):
+    unsigned = mask(value, width)
+    signed = to_signed(unsigned, width)
+    assert mask(signed, width) == unsigned
+    assert -(1 << (width - 1)) <= signed < (1 << (width - 1))
+
+
+# ---------------------------------------------------------------------------
+# based literals
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.sampled_from(["h", "b", "o", "d"]))
+def test_based_literal_value_roundtrip(value, base):
+    digits = {"h": format(value, "x"), "b": format(value, "b"),
+              "o": format(value, "o"), "d": str(value)}[base]
+    _, _, _, decoded, _ = parse_based_literal(f"'{base}{digits}")
+    assert decoded == value
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation vs a Python big-int oracle
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = {
+    "+": lambda a, b, w: (a + b) & ((1 << w) - 1),
+    "-": lambda a, b, w: (a - b) & ((1 << w) - 1),
+    "*": lambda a, b, w: (a * b) & ((1 << w) - 1),
+    "&": lambda a, b, w: a & b,
+    "|": lambda a, b, w: a | b,
+    "^": lambda a, b, w: a ^ b,
+}
+
+_EVAL_MOD = parse_module("""
+module m(input wire clock);
+  reg [15:0] a;
+  reg [15:0] b;
+endmodule
+""")
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF),
+       st.integers(min_value=0, max_value=0xFFFF),
+       st.sampled_from(sorted(_BIN_OPS)))
+def test_eval_matches_oracle(a, b, op):
+    from repro.interp.eval_expr import Evaluator
+
+    env = WidthEnv(_EVAL_MOD)
+    store = Store(env)
+    store.set("a", a)
+    store.set("b", b)
+    evaluator = Evaluator(env, store)
+    got = evaluator.eval(parse_expr(f"a {op} b"))
+    assert got == _BIN_OPS[op](a, b, 16)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFF),
+       st.integers(min_value=0, max_value=15),
+       st.integers(min_value=1, max_value=8))
+def test_part_select_matches_shift_mask(value, low, width):
+    if low + width > 16:
+        width = 16 - low
+    from repro.interp.eval_expr import Evaluator
+
+    env = WidthEnv(_EVAL_MOD)
+    store = Store(env)
+    store.set("a", value)
+    evaluator = Evaluator(env, store)
+    got = evaluator.eval(parse_expr(f"a[{low + width - 1}:{low}]"))
+    assert got == (value >> low) & ((1 << width) - 1)
+
+
+# ---------------------------------------------------------------------------
+# store snapshot / restore
+# ---------------------------------------------------------------------------
+
+_STORE_MOD = parse_module("""
+module m(input wire clock);
+  reg [31:0] x;
+  reg [7:0] y;
+  reg [15:0] mem [0:7];
+endmodule
+""")
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+       st.integers(min_value=0, max_value=255),
+       st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                min_size=8, max_size=8))
+def test_store_snapshot_restore_identity(x, y, mem):
+    env = WidthEnv(_STORE_MOD)
+    store = Store(env)
+    store.set("x", x)
+    store.set("y", y)
+    for i, v in enumerate(mem):
+        store.mem_set("mem", i, v)
+    snap = store.snapshot()
+
+    other = Store(env)
+    other.restore(snap)
+    assert other.get("x") == x
+    assert other.get("y") == y
+    assert other.memories["mem"] == mem
+
+
+# ---------------------------------------------------------------------------
+# printer round trip on generated expressions
+# ---------------------------------------------------------------------------
+
+
+def _exprs(depth):
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=999).map(str),
+        st.sampled_from(["a", "b"]),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(sub, st.sampled_from(["+", "-", "*", "&", "|", "^", "<<"]), sub)
+        .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+        st.tuples(sub, sub, sub).map(lambda t: f"({t[0]} ? {t[1]} : {t[2]})"),
+        sub.map(lambda e: f"~({e})"),
+        st.tuples(sub, sub).map(lambda t: f"{{{t[0]}, {t[1]}}}"),
+    )
+
+
+@given(_exprs(3))
+@settings(max_examples=60)
+def test_print_parse_fixpoint(text):
+    expr = parse_expr(text)
+    printed = print_expr(expr)
+    assert print_expr(parse_expr(printed)) == printed
+
+
+# ---------------------------------------------------------------------------
+# verilog_format never crashes
+# ---------------------------------------------------------------------------
+
+
+@given(st.text(alphabet="%dhbosc x0123", max_size=20),
+       st.lists(st.integers(min_value=0, max_value=1 << 40), max_size=4))
+def test_format_total(fmt, args):
+    out = verilog_format(fmt, list(args))
+    assert isinstance(out, str)
+
+
+# ---------------------------------------------------------------------------
+# the §3 soundness property on randomized programs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_programs(draw):
+    """Random always-block bodies over two regs, with optional traps."""
+    stmts = []
+    n_stmts = draw(st.integers(min_value=1, max_value=4))
+    for _ in range(n_stmts):
+        kind = draw(st.sampled_from(["nba", "blocking", "if", "display"]))
+        target = draw(st.sampled_from(["p", "q"]))
+        other = "q" if target == "p" else "p"
+        const = draw(st.integers(min_value=1, max_value=9))
+        if kind == "nba":
+            stmts.append(f"{target} <= {other} + {const};")
+        elif kind == "blocking":
+            stmts.append(f"{target} = {other} ^ {const};")
+        elif kind == "if":
+            stmts.append(
+                f"if ({other}[0]) {target} <= {target} + {const}; "
+                f"else {target} <= {target} - {const};"
+            )
+        else:
+            stmts.append(f'$display("{target}=%0d", {target});')
+    body = "\n".join(stmts)
+    return f"""
+module m(input wire clock);
+  reg [7:0] p = 1;
+  reg [7:0] q = 2;
+  always @(posedge clock) begin
+    {body}
+  end
+endmodule
+"""
+
+
+@st.composite
+def memory_programs(draw):
+    """Random programs exercising memories and mid-tick queries."""
+    depth = draw(st.integers(min_value=4, max_value=8))
+    use_random = draw(st.booleans())
+    stride = draw(st.integers(min_value=1, max_value=3))
+    source_expr = "$random" if use_random else f"wp * {stride}"
+    return f"""
+module m(input wire clock);
+  reg [7:0] mem [0:{depth - 1}];
+  reg [2:0] wp = 0;
+  reg [15:0] checksum = 0;
+  always @(posedge clock) begin
+    mem[wp] <= {source_expr};
+    checksum <= checksum + mem[wp];
+    wp <= (wp + 1) % {depth};
+  end
+endmodule
+"""
+
+
+@given(memory_programs())
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_transform_preserves_memory_semantics(source):
+    program = compile_program(source)
+    ticks = 6
+
+    host = TaskHost()
+    sim = Simulator(program.flat, host, env=program.env)
+    for _ in range(ticks):
+        sim.tick()
+
+    runtime = Runtime(program)
+    runtime.attach(DirectBoardBackend(DE10))
+    runtime._hw_ready_at = runtime.sim_time
+    runtime.tick(ticks)
+
+    assert runtime.engine.get("checksum") == sim.get("checksum")
+    slot = runtime.backend.board.slots[runtime.placement.engine_id]
+    assert slot.sim.store.memories["mem"] == sim.store.memories["mem"]
+
+
+@given(small_programs())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_transform_preserves_semantics(source):
+    program = compile_program(source)
+    ticks = 5
+
+    host = TaskHost()
+    sim = Simulator(program.flat, host, env=program.env)
+    for _ in range(ticks):
+        sim.tick()
+
+    runtime = Runtime(program)
+    runtime.attach(DirectBoardBackend(DE10))
+    runtime._hw_ready_at = runtime.sim_time
+    runtime.tick(ticks)
+    assert runtime.mode == "hardware"
+
+    assert runtime.engine.get("p") == sim.get("p")
+    assert runtime.engine.get("q") == sim.get("q")
+    assert runtime.host.display_log == host.display_log

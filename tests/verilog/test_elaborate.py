@@ -1,0 +1,153 @@
+"""Hierarchy flattening and parameter specialization tests."""
+
+import pytest
+
+from repro.verilog import ElaborationError, WidthEnv, flatten, instance_tree, parse
+from repro.verilog import ast
+
+
+def flat(src_text, top):
+    return flatten(parse(src_text), top)
+
+
+class TestFlatten:
+    SRC = """
+        module leaf(input wire clk, input wire [3:0] a, output wire [3:0] b);
+          reg [3:0] r = 0;
+          always @(posedge clk) r <= a;
+          assign b = r;
+        endmodule
+        module top(input wire clk, output wire [3:0] out);
+          wire [3:0] x = 4'h5;
+          leaf u(.clk(clk), .a(x), .b(out));
+        endmodule
+    """
+
+    def test_no_instances_remain(self):
+        mod = flat(self.SRC, "top")
+        assert not mod.instances()
+
+    def test_child_names_prefixed(self):
+        mod = flat(self.SRC, "top")
+        assert mod.decl("u$r") is not None
+
+    def test_input_binding_becomes_assign(self):
+        mod = flat(self.SRC, "top")
+        assigns = [i for i in mod.items if isinstance(i, ast.ContinuousAssign)]
+        targets = {a.lhs.name for a in assigns if isinstance(a.lhs, ast.Identifier)}
+        assert "u$clk" in targets and "u$a" in targets
+
+    def test_output_binding_direction(self):
+        mod = flat(self.SRC, "top")
+        assigns = [i for i in mod.items if isinstance(i, ast.ContinuousAssign)]
+        out = [a for a in assigns
+               if isinstance(a.lhs, ast.Identifier) and a.lhs.name == "out"]
+        assert out and out[0].rhs.name == "u$b"
+
+    def test_ports_lose_direction_when_inlined(self):
+        mod = flat(self.SRC, "top")
+        assert mod.decl("u$a").direction is None
+
+    def test_top_ports_keep_direction(self):
+        mod = flat(self.SRC, "top")
+        assert mod.decl("clk").direction == "input"
+
+
+class TestParameters:
+    SRC = """
+        module adder #(parameter W = 4)(input wire [W-1:0] a, output wire [W-1:0] y);
+          localparam TOP = W - 1;
+          assign y = a + 1;
+        endmodule
+        module top(input wire [7:0] p, output wire [7:0] q, output wire [3:0] r);
+          wire [3:0] small_in = 4'h1;
+          adder #(.W(8)) big(.a(p), .y(q));
+          adder small(.a(small_in), .y(r));
+        endmodule
+    """
+
+    def test_specialized_twice(self):
+        mod = flat(self.SRC, "top")
+        env = WidthEnv(mod)
+        assert env.signal("big$a").width == 8
+        assert env.signal("small$a").width == 4
+
+    def test_parameter_decls_removed(self):
+        mod = flat(self.SRC, "top")
+        assert mod.decl("big$W") is None
+
+    def test_positional_param_override(self):
+        src = """
+            module c #(parameter W = 2)(input wire [W-1:0] a); endmodule
+            module t(); wire [5:0] x; c #(6) u(.a(x)); endmodule
+        """
+        env = WidthEnv(flat(src, "t"))
+        assert env.signal("u$a").width == 6
+
+    def test_param_expression_in_parent_scope(self):
+        src = """
+            module c #(parameter W = 2)(input wire [W-1:0] a); endmodule
+            module t #(parameter P = 3)();
+              wire [2*3-1:0] x;
+              c #(.W(P * 2)) u(.a(x));
+            endmodule
+        """
+        env = WidthEnv(flat(src, "t"))
+        assert env.signal("u$a").width == 6
+
+
+class TestNesting:
+    def test_two_levels(self):
+        src = """
+            module inner(input wire x); endmodule
+            module middle(input wire y); inner i(.x(y)); endmodule
+            module outer(input wire z); middle m(.y(z)); endmodule
+        """
+        mod = flat(src, "outer")
+        assert mod.decl("m$i$x") is not None
+
+    def test_instance_tree(self):
+        src = """
+            module inner(); endmodule
+            module middle(); inner i(); endmodule
+            module outer(); middle m(); middle n(); endmodule
+        """
+        tree = instance_tree(parse(src), "outer")
+        assert tree["m"] == "middle"
+        assert tree["m$i"] == "inner"
+        assert tree["n$i"] == "inner"
+
+    def test_recursion_guard(self):
+        src = "module a(); a x(); endmodule"
+        with pytest.raises(ElaborationError):
+            flat(src, "a")
+
+
+class TestErrors:
+    def test_unknown_module(self):
+        with pytest.raises(ElaborationError):
+            flat("module t(); ghost g(); endmodule", "t")
+
+    def test_unknown_port(self):
+        src = """
+            module c(input wire a); endmodule
+            module t(); wire w; c u(.nope(w)); endmodule
+        """
+        with pytest.raises(ElaborationError):
+            flat(src, "t")
+
+    def test_mixed_connection_styles(self):
+        src = """
+            module c(input wire a, input wire b); endmodule
+            module t(); wire w; c u(w, .b(w)); endmodule
+        """
+        with pytest.raises(ElaborationError):
+            flat(src, "t")
+
+    def test_unconnected_port_ok(self):
+        src = """
+            module c(input wire a, input wire b); endmodule
+            module t(); wire w; c u(.a(w), .b()); endmodule
+        """
+        mod = flat(src, "t")
+        assert mod.decl("u$b") is not None  # declared, just undriven

@@ -1,0 +1,151 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.verilog.lexer import LexError, Preprocessor, parse_based_literal, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind != "EOF"]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_identifiers(self):
+        assert kinds("foo _bar baz_9 a$b") == ["ID"] * 4
+
+    def test_keywords(self):
+        assert kinds("module endmodule wire reg") == ["KEYWORD"] * 4
+
+    def test_keyword_prefix_is_identifier(self):
+        # 'modulex' must not lex as keyword + x.
+        toks = tokenize("modulex")
+        assert toks[0].kind == "ID" and toks[0].text == "modulex"
+
+    def test_system_identifiers(self):
+        toks = tokenize("$display $fopen")
+        assert [t.kind for t in toks[:2]] == ["SYSID", "SYSID"]
+        assert toks[0].text == "$display"
+
+    def test_escaped_identifier(self):
+        toks = tokenize(r"\my+weird+name rest")
+        assert toks[0].kind == "ID"
+        assert toks[0].text == "my+weird+name"
+        assert toks[1].text == "rest"
+
+    def test_decimal_numbers(self):
+        assert texts("42 1_000") == ["42", "1_000"]
+
+    def test_based_literals(self):
+        toks = tokenize("8'hFF 4'b1010 32'd7 'h10")
+        assert all(t.kind == "BASEDNUM" for t in toks[:4])
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r'"a\nb" "q\"uote"')
+        assert toks[0].text == "a\nb"
+        assert toks[1].text == 'q"uote'
+
+    def test_multichar_operators_longest_match(self):
+        assert texts("<<< >>> === !== <= >= && || << >>") == [
+            "<<<", ">>>", "===", "!==", "<=", ">=", "&&", "||", "<<", ">>",
+        ]
+
+    def test_attribute_markers(self):
+        toks = tokenize("(* non_volatile *) reg x;")
+        assert toks[0].kind == "ATTR_OPEN"
+        assert toks[1].text == "non_volatile"
+        assert toks[2].kind == "ATTR_CLOSE"
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("module `")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_block_comment_preserves_line_numbers(self):
+        toks = tokenize("/* one\ntwo */\nfoo")
+        assert toks[0].pos.line == 3
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never ends")
+
+    def test_comment_markers_inside_strings(self):
+        toks = tokenize('"no // comment" x')
+        assert toks[0].kind == "STRING"
+        assert toks[0].text == "no // comment"
+
+
+class TestPreprocessor:
+    def test_define_and_use(self):
+        out = Preprocessor().process("`define WIDTH 8\nreg [`WIDTH-1:0] x;")
+        assert "reg [8-1:0] x;" in out
+
+    def test_nested_macro_expansion(self):
+        pre = Preprocessor()
+        out = pre.process("`define A `B\n`define B 5\nwire w = `A;")
+        assert "wire w = 5;" in out
+
+    def test_undef(self):
+        out = Preprocessor().process("`define X 1\n`undef X\n`X")
+        assert "`X" in out
+
+    def test_ifdef_taken(self):
+        out = Preprocessor().process(
+            "`define F\n`ifdef F\nyes\n`else\nno\n`endif"
+        )
+        assert "yes" in out and "no" not in out
+
+    def test_ifndef(self):
+        out = Preprocessor().process("`ifndef MISSING\nyes\n`endif")
+        assert "yes" in out
+
+    def test_ifdef_else_branch(self):
+        out = Preprocessor().process("`ifdef MISSING\nyes\n`else\nno\n`endif")
+        assert "no" in out and "yes" not in out
+
+    def test_timescale_ignored(self):
+        out = Preprocessor().process("`timescale 1ns/1ps\nmodule m;")
+        assert "module m;" in out and "timescale" not in out
+
+    def test_initial_defines_parameter(self):
+        pre = Preprocessor({"EXT": "123"})
+        assert "123" in pre.process("x = `EXT;")
+
+
+class TestBasedLiteralDecoding:
+    def test_hex(self):
+        assert parse_based_literal("8'hFF") == (8, False, "h", 0xFF, 0)
+
+    def test_signed_marker(self):
+        width, signed, base, value, xz = parse_based_literal("4'sb1010")
+        assert signed and width == 4 and value == 0b1010
+
+    def test_width_truncation(self):
+        assert parse_based_literal("4'hFF")[3] == 0xF
+
+    def test_underscores(self):
+        assert parse_based_literal("16'hAB_CD")[3] == 0xABCD
+
+    def test_dontcare_mask_binary(self):
+        width, _, _, value, xz = parse_based_literal("4'b1?0?")
+        assert value == 0b1000
+        assert xz == 0b0101
+
+    def test_dontcare_mask_hex(self):
+        _, _, _, value, xz = parse_based_literal("8'h?F")
+        assert value == 0x0F
+        assert xz == 0xF0
+
+    def test_unsized(self):
+        width, _, base, value, _ = parse_based_literal("'d42")
+        assert width is None and value == 42

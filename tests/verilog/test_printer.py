@@ -1,0 +1,100 @@
+"""Printer tests: determinism and parse∘print round-tripping."""
+
+from repro.verilog import (
+    parse_expr, parse_module, parse_stmt, print_expr, print_module, print_stmt,
+)
+
+EXPRS = [
+    "a + b * c",
+    "(a - b) - c",
+    "a ? b : c",
+    "{a, b, {2{c}}}",
+    "~(&x)",
+    "mem[i]",
+    "x[7:4]",
+    "y[i +: 8]",
+    "$feof(fd)",
+    '"hello"',
+    "8'hff",
+    "a <= b",
+    "(x >> 2) & 32'hf0f0f0f0",
+]
+
+STMTS = [
+    "x = y + 1;",
+    "x <= {a, b};",
+    "if (a) x = 1; else x = 0;",
+    "begin x = 1; y = 2; end",
+    "fork x = 1; y = 2; join",
+    "case (op) 0: x = a; default: x = 0; endcase",
+    "casez (op) 4'b1???: x = 1; endcase",
+    "for (i = 0; i < 8; i = i + 1) acc = acc + i;",
+    "while (!done) count = count + 1;",
+    "repeat (3) x = x << 1;",
+    '$display("%0d", total);',
+    "$finish;",
+    ";",
+]
+
+MODULE = """
+module m #(parameter W = 8)(input wire clock, output wire [W-1:0] out);
+  (* non_volatile *) reg [W-1:0] acc = 0;
+  reg [7:0] mem [0:15];
+  wire t = acc[0];
+  always @(posedge clock) begin : body
+    if (t)
+      acc <= acc + 1;
+    else
+      mem[acc[3:0]] <= acc;
+  end
+  always @(*) ;
+  initial acc = 1;
+  assign out = acc;
+endmodule
+"""
+
+
+class TestExprRoundTrip:
+    def test_exprs_roundtrip(self):
+        for text in EXPRS:
+            expr = parse_expr(text)
+            printed = print_expr(expr)
+            reparsed = parse_expr(printed)
+            assert print_expr(reparsed) == printed, text
+
+    def test_printing_is_deterministic(self):
+        for text in EXPRS:
+            expr = parse_expr(text)
+            assert print_expr(expr) == print_expr(expr)
+
+
+class TestStmtRoundTrip:
+    def test_stmts_roundtrip(self):
+        for text in STMTS:
+            stmt = parse_stmt(text)
+            printed = "\n".join(print_stmt(stmt))
+            reparsed = parse_stmt(printed)
+            assert "\n".join(print_stmt(reparsed)) == printed, text
+
+
+class TestModuleRoundTrip:
+    def test_module_roundtrip_fixpoint(self):
+        mod = parse_module(MODULE)
+        printed = print_module(mod)
+        reparsed = parse_module(printed)
+        assert print_module(reparsed) == printed
+
+    def test_attributes_survive(self):
+        mod = parse_module(MODULE)
+        reparsed = parse_module(print_module(mod))
+        assert reparsed.decl("acc").has_attribute("non_volatile")
+
+    def test_ports_preserved(self):
+        mod = parse_module(MODULE)
+        reparsed = parse_module(print_module(mod))
+        assert reparsed.ports == mod.ports
+
+    def test_memory_dims_preserved(self):
+        mod = parse_module(MODULE)
+        reparsed = parse_module(print_module(mod))
+        assert len(reparsed.decl("mem").unpacked) == 1

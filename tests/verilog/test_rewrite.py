@@ -1,0 +1,81 @@
+"""AST rewriting utility tests."""
+
+from repro.verilog import ast, parse_expr, parse_stmt, print_expr, print_stmt
+from repro.verilog.rewrite import (
+    collect_identifiers,
+    lvalue_targets,
+    map_expr,
+    rename_expr,
+    rename_stmt,
+    stmt_identifiers,
+    substitute_expr,
+)
+
+
+class TestMapExpr:
+    def test_identity_preserves_structure(self):
+        expr = parse_expr("a + b[3:0] * {c, d}")
+        out = map_expr(expr, lambda e: e)
+        assert print_expr(out) == print_expr(expr)
+
+    def test_bottom_up_transform(self):
+        expr = parse_expr("x + x")
+
+        def double(node):
+            if isinstance(node, ast.Number):
+                return ast.Number(node.value * 2)
+            return node
+
+        out = map_expr(parse_expr("1 + 2"), double)
+        assert print_expr(out) == "(2 + 4)"
+
+
+class TestRename:
+    def test_rename_expr(self):
+        expr = parse_expr("a + b * a")
+        out = rename_expr(expr, {"a": "z"})
+        assert collect_identifiers(out) == {"z", "b"}
+
+    def test_rename_stmt_recurses(self):
+        stmt = parse_stmt("if (a) begin b = a + 1; end else c[a] = 0;")
+        out = rename_stmt(stmt, {"a": "q"})
+        assert "a" not in stmt_identifiers(out)
+        assert "q" in stmt_identifiers(out)
+
+    def test_rename_misses_are_noops(self):
+        expr = parse_expr("a + b")
+        out = rename_expr(expr, {"zz": "yy"})
+        assert print_expr(out) == print_expr(expr)
+
+
+class TestSubstitute:
+    def test_substitute_expression(self):
+        expr = parse_expr("a + 1")
+        out = substitute_expr(expr, {"a": parse_expr("b * c")})
+        assert print_expr(out) == "((b * c) + 1)"
+
+
+class TestCollectors:
+    def test_collect_identifiers(self):
+        assert collect_identifiers(parse_expr("a[i] + {b, 3'd2}")) == {"a", "i", "b"}
+
+    def test_stmt_identifiers_cover_all_positions(self):
+        stmt = parse_stmt("for (i = lo; i < hi; i = i + step) mem[i] <= val;")
+        names = stmt_identifiers(stmt)
+        assert names == {"i", "lo", "hi", "step", "mem", "val"}
+
+    def test_case_labels_collected(self):
+        stmt = parse_stmt("case (sel) A: x = 1; B: x = 2; endcase")
+        assert {"sel", "A", "B", "x"} <= stmt_identifiers(stmt)
+
+
+class TestLvalues:
+    def test_identifier(self):
+        assert lvalue_targets(parse_expr("x")) == ["x"]
+
+    def test_select(self):
+        assert lvalue_targets(parse_expr("mem[3]")) == ["mem"]
+        assert lvalue_targets(parse_expr("x[7:0]")) == ["x"]
+
+    def test_concat(self):
+        assert lvalue_targets(parse_expr("{a, b[1], c[3:0]}")) == ["a", "b", "c"]

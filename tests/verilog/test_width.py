@@ -1,0 +1,161 @@
+"""Width inference and constant evaluation tests (LRM §5.4 rules)."""
+
+import pytest
+
+from repro.verilog import WidthEnv, WidthError, const_eval, mask, parse_expr, parse_module, to_signed
+
+MOD = parse_module("""
+module m(input wire clock);
+  parameter W = 16;
+  localparam HALF = W / 2;
+  wire [7:0] a;
+  wire [15:0] b;
+  reg signed [7:0] s;
+  reg [31:0] mem [0:63];
+  reg [3:0] nib;
+  integer i;
+  wire one;
+endmodule
+""")
+
+
+@pytest.fixture(scope="module")
+def env():
+    return WidthEnv(MOD)
+
+
+class TestHelpers:
+    def test_mask(self):
+        assert mask(0x1FF, 8) == 0xFF
+        assert mask(-1, 4) == 0xF
+
+    def test_to_signed(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+        assert to_signed(0, 8) == 0
+
+
+class TestConstEval:
+    def test_arithmetic(self):
+        assert const_eval(parse_expr("3 + 4 * 2")) == 11
+
+    def test_parameters(self):
+        assert const_eval(parse_expr("W - 1"), {"W": 16}) == 15
+
+    def test_ternary(self):
+        assert const_eval(parse_expr("1 ? 10 : 20")) == 10
+
+    def test_shifts(self):
+        assert const_eval(parse_expr("1 << 10")) == 1024
+
+    def test_comparison(self):
+        assert const_eval(parse_expr("3 < 5")) == 1
+
+    def test_clog2(self):
+        assert const_eval(parse_expr("$clog2(1024)")) == 10
+        assert const_eval(parse_expr("$clog2(1025)")) == 11
+
+    def test_non_constant_raises(self):
+        with pytest.raises(WidthError):
+            const_eval(parse_expr("x + 1"))
+
+
+class TestSignalTable:
+    def test_params_resolved(self, env):
+        assert env.params["W"] == 16
+        assert env.params["HALF"] == 8
+
+    def test_widths(self, env):
+        assert env.signal("a").width == 8
+        assert env.signal("b").width == 16
+        assert env.signal("one").width == 1
+
+    def test_memory(self, env):
+        mem = env.signal("mem")
+        assert mem.is_memory and mem.depth == 64 and mem.width == 32
+
+    def test_integer(self, env):
+        sig = env.signal("i")
+        assert sig.width == 32 and sig.signed
+
+    def test_state_kinds(self, env):
+        assert env.signal("s").is_state
+        assert not env.signal("a").is_state
+
+    def test_unknown_raises(self, env):
+        with pytest.raises(WidthError):
+            env.signal("nope")
+
+
+class TestExprWidths:
+    def test_identifier(self, env):
+        assert env.width_of(parse_expr("a")) == 8
+
+    def test_unsized_literal_is_32(self, env):
+        assert env.width_of(parse_expr("42")) == 32
+
+    def test_sized_literal(self, env):
+        assert env.width_of(parse_expr("4'hF")) == 4
+
+    def test_binary_max_rule(self, env):
+        assert env.width_of(parse_expr("a + b")) == 16
+
+    def test_comparison_is_one_bit(self, env):
+        assert env.width_of(parse_expr("a == b")) == 1
+        assert env.width_of(parse_expr("a < b")) == 1
+
+    def test_logical_is_one_bit(self, env):
+        assert env.width_of(parse_expr("a && b")) == 1
+
+    def test_shift_takes_left_width(self, env):
+        assert env.width_of(parse_expr("a << b")) == 8
+
+    def test_concat_sums(self, env):
+        assert env.width_of(parse_expr("{a, b, nib}")) == 28
+
+    def test_replication(self, env):
+        assert env.width_of(parse_expr("{3{a}}")) == 24
+
+    def test_bit_select_is_one(self, env):
+        assert env.width_of(parse_expr("b[3]")) == 1
+
+    def test_memory_element_width(self, env):
+        assert env.width_of(parse_expr("mem[5]")) == 32
+
+    def test_part_select(self, env):
+        assert env.width_of(parse_expr("b[11:4]")) == 8
+
+    def test_indexed_part_select(self, env):
+        assert env.width_of(parse_expr("b[i +: 4]")) == 4
+
+    def test_reduction_is_one_bit(self, env):
+        assert env.width_of(parse_expr("&b")) == 1
+
+    def test_not_is_one_bit(self, env):
+        assert env.width_of(parse_expr("!b")) == 1
+
+    def test_invert_keeps_width(self, env):
+        assert env.width_of(parse_expr("~b")) == 16
+
+    def test_ternary_max_of_branches(self, env):
+        assert env.width_of(parse_expr("one ? a : b")) == 16
+
+    def test_sysfunc_widths(self, env):
+        assert env.width_of(parse_expr("$time")) == 64
+        assert env.width_of(parse_expr("$random")) == 32
+        assert env.width_of(parse_expr("$signed(a)")) == 8
+
+
+class TestSignedness:
+    def test_signed_identifier(self, env):
+        assert env.is_signed(parse_expr("s"))
+        assert not env.is_signed(parse_expr("a"))
+
+    def test_signed_call(self, env):
+        assert env.is_signed(parse_expr("$signed(a)"))
+
+    def test_mixed_arithmetic_unsigned(self, env):
+        assert not env.is_signed(parse_expr("s + a"))
+
+    def test_signed_propagates_through_negation(self, env):
+        assert env.is_signed(parse_expr("-s"))
