@@ -79,8 +79,9 @@ class EngineSlot:
 class SimulatedBoard:
     """A reconfigurable device executing transformed sub-programs."""
 
-    def __init__(self, device: Device):
+    def __init__(self, device: Device, sim_backend: Optional[str] = None):
         self.device = device
+        self.sim_backend = sim_backend
         self.bitstream: Optional[Bitstream] = None
         self.clock_hz: float = device.max_clock_hz
         self.slots: Dict[int, EngineSlot] = {}
@@ -102,7 +103,8 @@ class SimulatedBoard:
             # Each slot executes the transformed module; unsynthesizable
             # behaviour only ever reaches hardware as task traps, so the
             # slot's TaskHost must stay silent.
-            sim = Simulator(program.transform.module, TaskHost())
+            sim = Simulator(program.transform.module, TaskHost(),
+                            backend=self.sim_backend)
             self.slots[engine_id] = EngineSlot(engine_id, program, sim)
 
     def _slot(self, engine_id: int) -> EngineSlot:

@@ -46,9 +46,11 @@ class Hypervisor:
                  use_hull: bool = True, parent: Optional["Hypervisor"] = None,
                  network_latency_s: float = 5e-5,
                  anti_congestion: bool = False,
-                 clock_domains: bool = False):
+                 clock_domains: bool = False,
+                 sim_backend: Optional[str] = None):
         self.device = device
-        self.board = SimulatedBoard(device)
+        self.sim_backend = sim_backend
+        self.board = SimulatedBoard(device, sim_backend=sim_backend)
         self.cache = cache if cache is not None else CompilationCache()
         self.hull = Hull(device) if use_hull else None
         self.parent = parent

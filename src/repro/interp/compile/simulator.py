@@ -1,0 +1,411 @@
+"""The compiled simulator: closures + slot store + ranked scheduling.
+
+:class:`CompiledSimulator` is ABI-identical to the reference
+interpreter (:class:`~repro.interp.simulator.InterpSimulator`) — same
+``get``/``set``/``evaluate``/``update``/``step``/``tick``/``run``/
+``save_state``/``restore_state`` surface, same ``store``/``evaluator``
+attributes — but executes generated Python functions instead of
+walking the AST.  It subclasses the interpreter so every cold path
+(system tasks, ``$readmem``, trap argument evaluation, uncompilable
+statements) runs the *reference* implementation against the slot
+store, keeping behaviour bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ...verilog import ast_nodes as ast
+from ...verilog.rewrite import collect_identifiers, lvalue_targets, stmt_identifiers
+from ...verilog.width import WidthEnv
+from ..eval_expr import EvalError, Evaluator
+from ..systasks import TaskHost
+from ..simulator import (
+    _MAX_SETTLE_ROUNDS,
+    InterpSimulator,
+    SimulationError,
+)
+from .exprc import ExprCompiler, HELPERS, expr_is_pure
+from .scheduler import rank_order
+from .slots import SlotStore
+from .stmtc import ProcessCompiler
+
+
+class _Trigger:
+    """One sensitivity entry: either a star-dependency or an edge event."""
+
+    __slots__ = ("proc", "edge", "fn", "prev")
+
+    def __init__(self, proc: int, edge: Optional[str] = None, fn=None):
+        self.proc = proc
+        self.edge = edge    # None = star sensitivity (enqueue on any change)
+        self.fn = fn        # compiled event-expression value closure
+        self.prev = 0
+
+
+class _ProcInfo:
+    """Analysis record for one process before code generation."""
+
+    __slots__ = ("index", "kind", "stmt", "assign", "events", "reads", "writes")
+
+    def __init__(self, index: int, kind: str, stmt=None, assign=None,
+                 events: Sequence[ast.EventExpr] = (),
+                 reads: Optional[Set[str]] = None,
+                 writes: Optional[Set[str]] = None):
+        self.index = index
+        self.kind = kind  # "assign" | "star" | "edge" | "initial"
+        self.stmt = stmt
+        self.assign = assign
+        self.events = list(events)
+        self.reads = reads or set()
+        self.writes = writes or set()
+
+
+class CompiledSimulator(InterpSimulator):
+    """Simulates one flattened module through compiled closures."""
+
+    backend = "compiled"
+
+    def __init__(self, module: ast.Module, host: Optional[TaskHost] = None,
+                 env: Optional[WidthEnv] = None):
+        self.module = module
+        self.host = host if host is not None else TaskHost()
+        self.env = env if env is not None else WidthEnv(module)
+        self.store = SlotStore(self.env)
+        self.evaluator = Evaluator(self.env, self.store, self._sysfunc)
+        self.time = 0
+        self.stmts_executed = 0
+        self.settle_rounds = 0
+        self._nba: List[tuple] = []
+        self._write_buffer = ""
+        self._processes: List[_ProcInfo] = []  # analysis records
+        self._analyze()
+        self._build_schedule()
+        self._codegen()
+        self._initialize()
+
+    # -- analysis -------------------------------------------------------------
+
+    def _analyze(self) -> None:
+        index = 0
+        for item in self.module.items:
+            if isinstance(item, ast.ContinuousAssign):
+                reads = collect_identifiers(item.rhs) | self._lhs_index_deps(item.lhs)
+                writes = set(lvalue_targets(item.lhs))
+                self._processes.append(_ProcInfo(
+                    index, "assign", assign=item, reads=reads, writes=writes))
+            elif isinstance(item, ast.Always):
+                if item.sensitivity == ast.STAR:
+                    # always@* blocks stay on the interpreter-identical
+                    # FIFO queue: promoting them into the ranked sweep
+                    # can resequence them past edge-triggered or initial
+                    # processes queued in the same drain, which is
+                    # observable through $display and blocking-read
+                    # races.  The win is per-execution (compiled
+                    # closures), not per-schedule.
+                    reads = stmt_identifiers(item.stmt)
+                    self._processes.append(_ProcInfo(
+                        index, "star", stmt=item.stmt, reads=reads))
+                else:
+                    self._processes.append(_ProcInfo(
+                        index, "edge", stmt=item.stmt, events=item.sensitivity))
+            elif isinstance(item, ast.Initial):
+                self._processes.append(_ProcInfo(index, "initial", stmt=item.stmt))
+            elif (isinstance(item, ast.Decl) and item.kind == "wire"
+                    and item.init is not None):
+                implied = ast.ContinuousAssign(ast.Identifier(item.name), item.init)
+                reads = collect_identifiers(item.init)
+                self._processes.append(_ProcInfo(
+                    index, "assign", assign=implied, reads=reads,
+                    writes={item.name}))
+            else:
+                continue
+            index += 1
+        # Rank-ordering assigns is only unobservable when their RHSes
+        # are pure; an `assign x = $random` makes intra-class order
+        # matter, so such modules run assigns through the FIFO scan too.
+        self._fifo_mode = any(
+            not (expr_is_pure(p.assign.rhs) and expr_is_pure(p.assign.lhs))
+            for p in self._processes if p.kind == "assign"
+        )
+
+    def _slot_for(self, name: str) -> Optional[int]:
+        slot = self.store.slot_of.get(name)
+        if slot is None:
+            slot = self.store.mem_slot_of.get(name)
+        return slot
+
+    def _build_schedule(self) -> None:
+        store = self.store
+        nslots = len(store.dirty_flags)
+        nprocs = len(self._processes)
+        self._is_assign = bytearray(nprocs)
+        for proc in self._processes:
+            if proc.kind == "assign":
+                self._is_assign[proc.index] = 1
+        # Continuous assigns, levelled into ranks (unless fifo_mode).
+        comb = ([] if self._fifo_mode
+                else [p for p in self._processes if p.kind == "assign"])
+        order = rank_order([p.reads for p in comb], [p.writes for p in comb])
+        self._comb_order = [comb[i].index for i in order]
+        self._comb_pending = bytearray(nprocs)
+        self._comb_count = 0
+        # Sensitivity maps: slot -> ranked proc ids / trigger entries.
+        self._comb_watch: List[List[int]] = [[] for _ in range(nslots)]
+        self._trig_watch: List[List[_Trigger]] = [[] for _ in range(nslots)]
+        self._events: List[_Trigger] = []
+        ranked = {p.index for p in comb}
+        for proc in self._processes:
+            if proc.kind in ("assign", "star"):
+                for name in proc.reads:
+                    slot = self._slot_for(name)
+                    if slot is None:
+                        continue
+                    if proc.index in ranked:
+                        self._comb_watch[slot].append(proc.index)
+                    else:
+                        self._trig_watch[slot].append(_Trigger(proc.index))
+            elif proc.kind == "edge":
+                for event in proc.events:
+                    trigger = _Trigger(proc.index, event.edge)
+                    self._events.append(trigger)
+                    for name in collect_identifiers(event.expr):
+                        slot = self._slot_for(name)
+                        if slot is not None:
+                            self._trig_watch[slot].append(trigger)
+        self._queued = bytearray(nprocs)
+        self._proc_queue: List[int] = []
+        self._watched = {
+            s for s in range(nslots)
+            if self._comb_watch[s] or self._trig_watch[s]
+        }
+
+    # -- code generation -------------------------------------------------------
+
+    def _codegen(self) -> None:
+        store = self.store
+        ec = ExprCompiler(self.env, store.slot_of, store.mem_slot_of)
+        pc = ProcessCompiler(ec, self._watched)
+        lines: List[str] = []
+        for proc in self._processes:
+            name = f"p{proc.index}"
+            if proc.kind == "assign":
+                lines.extend(pc.compile_assign(name, proc.assign))
+            else:
+                lines.extend(pc.compile_procedural(name, proc.stmt))
+        # Compile event-expression value closures (order matches
+        # self._events, which _build_schedule filled in process order).
+        event_sources: List[str] = []
+        k = 0
+        for proc in self._processes:
+            if proc.kind != "edge":
+                continue
+            for event in proc.events:
+                src = ec.compile(event.expr)
+                event_sources.append(f"def e{k}():")
+                event_sources.append(f"    return {src}")
+                event_sources.append("")
+                k += 1
+        source = "\n".join(pc.writer_defs + lines + event_sources)
+        namespace: Dict[str, object] = {
+            "S": self,
+            "d": store.data,
+            "df": store.dirty_flags,
+            "dla": store.dirty_list.append,
+            "nbap": self._nba.append,
+            "EV": self.evaluator._eval,
+            "EVC": self.evaluator,
+            "SYS": self._sysfunc,
+            "SimulationError": SimulationError,
+        }
+        namespace.update(HELPERS)
+        for mem_name, slot in store.mem_slot_of.items():
+            namespace[f"m{slot}"] = store.memories[mem_name]
+        for i, obj in enumerate(ec.consts):
+            namespace[f"c{i}"] = obj
+        exec(compile(source, "<repro-compiled>", "exec"), namespace)
+        self._source = source  # kept for debugging/inspection
+        self._fn = [namespace[f"p{proc.index}"] for proc in self._processes]
+        for k, trigger in enumerate(self._events):
+            trigger.fn = namespace[f"e{k}"]
+
+    # -- initialization ---------------------------------------------------------
+
+    def _initialize(self) -> None:
+        for item in self.module.items:
+            if (isinstance(item, ast.Decl) and item.init is not None
+                    and item.kind in ("reg", "integer")):
+                sig = self.env.signal(item.name)
+                if sig.is_memory:
+                    continue
+                value = self.evaluator.eval(item.init, sig.width)
+                self.store.set(item.name, value, notify=False)
+        for proc in self._processes:
+            if proc.kind == "assign" and not self._fifo_mode:
+                if not self._comb_pending[proc.index]:
+                    self._comb_pending[proc.index] = 1
+                    self._comb_count += 1
+            elif proc.kind == "initial" or (proc.kind == "assign"
+                                            and self._fifo_mode):
+                self._queued[proc.index] = 1
+                self._proc_queue.append(proc.index)
+        self.settle()
+        for trigger in self._events:
+            trigger.prev = self._trigger_value(trigger)
+
+    @staticmethod
+    def _trigger_value(trigger: _Trigger) -> int:
+        try:
+            return trigger.fn()
+        except EvalError:
+            return 0
+
+    # -- scheduling core ---------------------------------------------------------
+
+    def _drain(self) -> None:
+        """Convert dirty slots into process activations (ranked dirty sets)."""
+        store = self.store
+        dirty = store.dirty_list
+        if not dirty:
+            return
+        flags = store.dirty_flags
+        comb_watch = self._comb_watch
+        trig_watch = self._trig_watch
+        pending = self._comb_pending
+        queued = self._queued
+        queue = self._proc_queue
+        i = 0
+        while i < len(dirty):
+            slot = dirty[i]
+            i += 1
+            flags[slot] = 0
+            for p in comb_watch[slot]:
+                if not pending[p]:
+                    pending[p] = 1
+                    self._comb_count += 1
+            for trigger in trig_watch[slot]:
+                if trigger.edge is None:
+                    p = trigger.proc
+                    if not queued[p]:
+                        queued[p] = 1
+                        queue.append(p)
+                    continue
+                try:
+                    new = trigger.fn()
+                except EvalError:
+                    new = 0
+                prev = trigger.prev
+                edge = trigger.edge
+                if edge == "posedge":
+                    fired = not (prev & 1) and (new & 1)
+                elif edge == "negedge":
+                    fired = (prev & 1) and not (new & 1)
+                else:
+                    fired = new != prev
+                trigger.prev = new
+                if fired:
+                    p = trigger.proc
+                    if not queued[p]:
+                        queued[p] = 1
+                        queue.append(p)
+        del dirty[:]
+
+    def settle(self) -> None:
+        """Run evaluation events to fixpoint (no NBA latching).
+
+        Pending continuous assigns execute in dependency-rank order —
+        one sweep settles acyclic logic — and are always drained before
+        the next procedural block runs, the interpreter's assigns-first
+        schedule.  Procedural blocks (always@*, edge-triggered,
+        initial) run FIFO, exactly like the interpreter.
+        """
+        if self._fifo_mode:
+            self._settle_fifo()
+            return
+        self._drain()
+        order = self._comb_order
+        pending = self._comb_pending
+        funcs = self._fn
+        queue = self._proc_queue
+        queued = self._queued
+        runs = 0
+        limit = _MAX_SETTLE_ROUNDS * max(1, len(self._processes))
+        while self._comb_count or queue:
+            while self._comb_count:
+                for p in order:
+                    if pending[p]:
+                        pending[p] = 0
+                        self._comb_count -= 1
+                        self.settle_rounds += 1
+                        runs += 1
+                        funcs[p]()
+                        self._drain()
+                # One run per process execution, bounded like the
+                # interpreter (limit scales with process count) so a
+                # long-but-terminating settle never trips the guard.
+                if runs > limit:
+                    raise SimulationError("evaluation did not converge "
+                                          "(combinational loop?)")
+            if queue:
+                p = queue.pop(0)
+                queued[p] = 0
+                self.settle_rounds += 1
+                runs += 1
+                if runs > limit:
+                    raise SimulationError("evaluation did not converge "
+                                          "(combinational loop?)")
+                funcs[p]()
+                self._drain()
+
+    def _settle_fifo(self) -> None:
+        """Interpreter-identical settle: one queue, assigns scanned first.
+
+        Used when a continuous assign has an impure RHS (e.g.
+        ``assign x = $random``), where even intra-class execution order
+        is observable and must match the oracle exactly.
+        """
+        self._drain()
+        queue = self._proc_queue
+        queued = self._queued
+        is_assign = self._is_assign
+        funcs = self._fn
+        runs = 0
+        limit = _MAX_SETTLE_ROUNDS * max(1, len(self._processes))
+        while queue:
+            runs += 1
+            if runs > limit:
+                raise SimulationError("evaluation did not converge "
+                                      "(combinational loop?)")
+            pick = None
+            for i, p in enumerate(queue):
+                if is_assign[p]:
+                    pick = queue.pop(i)
+                    break
+            if pick is None:
+                pick = queue.pop(0)
+            queued[pick] = 0
+            self.settle_rounds += 1
+            funcs[pick]()
+            self._drain()
+
+    def _latch(self) -> None:
+        """Apply queued non-blocking assignments (update region)."""
+        pending = self._nba[:]
+        del self._nba[:]  # keep list identity: compiled code binds .append
+        assign = self.evaluator.assign
+        for target, value in pending:
+            if callable(target):
+                target(value)          # compiled writer
+            else:
+                assign(target, value)  # AST lvalue from a fallback path
+        self._drain()
+
+    # -- state capture -----------------------------------------------------------
+
+    def restore_state(self, snapshot: Dict[str, object]) -> None:
+        self.store.restore(snapshot["store"])  # type: ignore[arg-type]
+        self.host.vfs.restore(snapshot["vfs"])  # type: ignore[arg-type]
+        self.time = int(snapshot["time"])  # type: ignore[arg-type]
+        # Re-prime edge detection so restore does not fabricate edges.
+        for trigger in self._events:
+            trigger.prev = self._trigger_value(trigger)

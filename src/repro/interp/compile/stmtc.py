@@ -1,0 +1,376 @@
+"""Statement/process compiler: AST processes → Python function source.
+
+Each continuous assign, always block and initial block becomes one
+generated function.  Blocking assignments write slots inline (with the
+dirty-bitset marking fused in); non-blocking assignments enqueue a
+pre-compiled *writer* closure so the LHS index is evaluated in the
+update region, exactly like the interpreter.  Statements the compiler
+cannot lower fall back to ``S._exec(<node>)`` — the reference
+interpreter on the live slot store — so unsupported constructs keep
+interpreter-identical behaviour instead of failing at elaboration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ...verilog import ast_nodes as ast
+from ...verilog.width import WidthError, const_eval
+from ..simulator import _MAX_LOOP_ITERATIONS
+from .exprc import CompileFallback, ExprCompiler, expr_is_pure, expr_nodes
+
+
+class ProcessCompiler:
+    """Emits function source for one module's processes."""
+
+    def __init__(self, compiler: ExprCompiler, watched_slots: Set[int]):
+        self.ec = compiler
+        self.env = compiler.env
+        self.watched = watched_slots
+        self.lines: List[str] = []
+        self.writer_defs: List[str] = []
+        self._tmp = 0
+        self._writers = 0
+
+    # -- small emission helpers -------------------------------------------
+
+    def _gensym(self, stem: str) -> str:
+        self._tmp += 1
+        return f"_{stem}{self._tmp}"
+
+    def _emit(self, ind: int, text: str) -> None:
+        self.lines.append("    " * ind + text)
+
+    def _fallback(self, stmt: ast.Stmt, ind: int) -> None:
+        self._emit(ind, f"S._exec({self.ec.const_ref(stmt)})")
+
+    # -- slot write emission ------------------------------------------------
+
+    def _mark(self, slot: int, ind: int) -> None:
+        self._emit(ind, f"if not df[{slot}]:")
+        self._emit(ind + 1, f"df[{slot}] = 1; dla({slot})")
+
+    def _store_scalar(self, slot: int, value: str, width_ok: bool,
+                      sig_mask: int, ind: int) -> None:
+        """Masked compare-write of *value* (a temp name) into a slot."""
+        masked = value if width_ok else f"({value} & {sig_mask})"
+        if slot in self.watched:
+            if not width_ok:
+                self._emit(ind, f"{value} &= {sig_mask}")
+            self._emit(ind, f"if d[{slot}] != {value}:")
+            self._emit(ind + 1, f"d[{slot}] = {value}")
+            self._mark(slot, ind + 1)
+        else:
+            self._emit(ind, f"d[{slot}] = {masked}")
+
+    def _emit_store(self, lhs: ast.Expr, value: str, value_width: int,
+                    ind: int) -> None:
+        """Emit the equivalent of ``Evaluator.assign(lhs, value)``.
+
+        *value* is the name of a temp already holding the RHS result
+        (evaluated at *value_width* bits), so index expressions are
+        evaluated after it — the interpreter's order.
+        """
+        if isinstance(lhs, ast.Identifier):
+            sig = self.env.signal(lhs.name)
+            if sig.is_memory:
+                raise CompileFallback("whole-memory assignment")
+            slot = self.ec.slot_of[lhs.name]
+            self._store_scalar(slot, value, value_width <= sig.width,
+                               (1 << sig.width) - 1, ind)
+            return
+        if isinstance(lhs, ast.Index):
+            if not isinstance(lhs.base, ast.Identifier):
+                raise CompileFallback("nested lvalue selects")
+            sig = self.env.signal(lhs.base.name)
+            if sig.is_memory:
+                idx = self._gensym("a")
+                base = f" - {sig.base}" if sig.base else ""
+                self._emit(ind, f"{idx} = ({self.ec.compile(lhs.index)}){base}")
+                self._emit(ind, f"if 0 <= {idx} < {sig.depth}:")
+                mem = self.ec.mem_ref(lhs.base.name)
+                word = self._gensym("w")
+                self._emit(ind + 1, f"{word} = {value} & {(1 << sig.width) - 1}")
+                mslot = self.ec.mem_slot_of[lhs.base.name]
+                if mslot in self.watched:
+                    self._emit(ind + 1, f"if {mem}[{idx}] != {word}:")
+                    self._emit(ind + 2, f"{mem}[{idx}] = {word}")
+                    self._mark(mslot, ind + 2)
+                else:
+                    self._emit(ind + 1, f"{mem}[{idx}] = {word}")
+                return
+            slot = self.ec.slot_of[lhs.base.name]
+            try:
+                cidx = const_eval(lhs.index, self.env.params)
+            except WidthError:
+                cidx = None
+            offset_src: Optional[str] = None
+            if cidx is not None:
+                offset = sig.bit_offset(cidx)
+                if not 0 <= offset < sig.width:
+                    return  # out-of-range bit writes are dropped
+                offset_src = str(offset)
+                body_ind = ind
+            else:
+                off = self._gensym("o")
+                idx = self.ec.compile(lhs.index)
+                if sig.msb >= sig.lsb:
+                    expr = f"({idx}) - {sig.lsb}" if sig.lsb else f"({idx})"
+                else:
+                    expr = f"{sig.lsb} - ({idx})"
+                self._emit(ind, f"{off} = {expr}")
+                self._emit(ind, f"if 0 <= {off} < {sig.width}:")
+                offset_src, body_ind = off, ind + 1
+            new = self._gensym("n")
+            self._emit(body_ind,
+                       f"{new} = (d[{slot}] & ~(1 << {offset_src}))"
+                       f" | (({value} & 1) << {offset_src})")
+            self._store_scalar(slot, new, True, (1 << sig.width) - 1, body_ind)
+            return
+        if isinstance(lhs, ast.RangeSelect):
+            if not isinstance(lhs.base, ast.Identifier):
+                raise CompileFallback("nested lvalue selects")
+            sig = self.env.signal(lhs.base.name)
+            slot = self.ec.slot_of[lhs.base.name]
+            sig_mask = (1 << sig.width) - 1
+            if lhs.mode == ":":
+                msb = const_eval(lhs.msb, self.env.params)
+                lsb = const_eval(lhs.lsb, self.env.params)
+                sel_width = abs(msb - lsb) + 1
+                low_index = lsb if sig.msb >= sig.lsb else msb
+                low = sig.bit_offset(low_index)
+                if low < 0:
+                    return
+                field = ((1 << sel_width) - 1) << low
+                new = self._gensym("n")
+                src = (f"(d[{slot}] & {~field & sig_mask})"
+                       f" | (({value} << {low}) & {field})")
+                if field & ~sig_mask:
+                    src = f"({src}) & {sig_mask}"
+                self._emit(ind, f"{new} = {src}")
+                self._store_scalar(slot, new, True, sig_mask, ind)
+                return
+            sel_width = const_eval(lhs.lsb, self.env.params)
+            start = self.ec.compile(lhs.msb)
+            if lhs.mode == "+:":
+                low_index = f"({start})"
+            else:
+                low_index = f"(({start}) - {sel_width - 1})"
+            if sig.msb >= sig.lsb:
+                low_src = f"{low_index} - {sig.lsb}" if sig.lsb else low_index
+            else:
+                low_src = f"{sig.lsb} - {low_index}"
+            low = self._gensym("o")
+            field = self._gensym("f")
+            new = self._gensym("n")
+            self._emit(ind, f"{low} = {low_src}")
+            self._emit(ind, f"if {low} >= 0:")
+            self._emit(ind + 1, f"{field} = {(1 << sel_width) - 1} << {low}")
+            self._emit(ind + 1,
+                       f"{new} = ((d[{slot}] & ~{field})"
+                       f" | (({value} << {low}) & {field})) & {sig_mask}")
+            self._store_scalar(slot, new, True, sig_mask, ind + 1)
+            return
+        if isinstance(lhs, ast.Concat):
+            shift = sum(self.env.width_of(p) for p in lhs.parts)
+            for part in lhs.parts:
+                part_width = self.env.width_of(part)
+                shift -= part_width
+                piece = self._gensym("v")
+                self._emit(ind, f"{piece} = ({value} >> {shift})"
+                                f" & {(1 << part_width) - 1}")
+                self._emit_store(part, piece, part_width, ind)
+            return
+        raise CompileFallback(f"invalid lvalue {type(lhs).__name__}")
+
+    # -- statements ---------------------------------------------------------
+
+    def emit_stmt(self, stmt: Optional[ast.Stmt], ind: int) -> None:
+        if stmt is None:
+            self._emit(ind, "pass")
+            return
+        mark = len(self.lines)
+        try:
+            self._emit_stmt(stmt, ind)
+        except (CompileFallback, WidthError):
+            # Roll back any partial emission (a half-written assign would
+            # double-evaluate side effects) and interpret the whole node.
+            del self.lines[mark:]
+            self._fallback(stmt, ind)
+
+    def _count(self, ind: int, stmts: int, ops: int) -> None:
+        if ops:
+            self._emit(ind, f"_st += {stmts}; _ops += {ops}")
+        else:
+            self._emit(ind, f"_st += {stmts}")
+
+    def _emit_stmt(self, stmt: ast.Stmt, ind: int) -> None:
+        if isinstance(stmt, ast.Assign):
+            width = self.env.width_of(stmt.lhs)
+            rhs = self.ec.compile(stmt.rhs, width)
+            value_width = max(self.env.width_of(stmt.rhs), width)
+            self._count(ind, 1, expr_nodes(stmt.rhs))
+            value = self._gensym("v")
+            self._emit(ind, f"{value} = {rhs}")
+            if stmt.blocking:
+                self._emit_store(stmt.lhs, value, value_width, ind)
+            else:
+                writer = self._compile_writer(stmt.lhs, value_width)
+                self._emit(ind, f"nbap(({writer}, {value}))")
+            return
+        if isinstance(stmt, (ast.Block, ast.ForkJoin)):
+            self._count(ind, 1, 0)
+            for inner in stmt.stmts:
+                self.emit_stmt(inner, ind)
+            return
+        if isinstance(stmt, ast.If):
+            self._count(ind, 1, expr_nodes(stmt.cond))
+            self._emit(ind, f"if {self.ec.compile_bool(stmt.cond)}:")
+            self.emit_stmt(stmt.then_stmt, ind + 1)
+            if stmt.else_stmt is not None:
+                self._emit(ind, "else:")
+                self.emit_stmt(stmt.else_stmt, ind + 1)
+            return
+        if isinstance(stmt, ast.Case):
+            self._emit_case(stmt, ind)
+            return
+        if isinstance(stmt, ast.For):
+            self._count(ind, 1, 0)
+            self.emit_stmt(stmt.init, ind)
+            guard = self._gensym("it")
+            self._emit(ind, f"{guard} = 0")
+            self._emit(ind, f"while {self.ec.compile_bool(stmt.cond)}:")
+            self._count(ind + 1, 0, expr_nodes(stmt.cond))
+            self.emit_stmt(stmt.body, ind + 1)
+            self.emit_stmt(stmt.step, ind + 1)
+            self._emit(ind + 1, f"{guard} += 1")
+            self._emit(ind + 1, f"if {guard} > {_MAX_LOOP_ITERATIONS}:")
+            self._emit(ind + 2, "raise SimulationError("
+                                "'for-loop iteration limit exceeded')")
+            return
+        if isinstance(stmt, ast.While):
+            self._count(ind, 1, 0)
+            guard = self._gensym("it")
+            self._emit(ind, f"{guard} = 0")
+            self._emit(ind, f"while {self.ec.compile_bool(stmt.cond)}:")
+            self.emit_stmt(stmt.body, ind + 1)
+            self._emit(ind + 1, f"{guard} += 1")
+            self._emit(ind + 1, f"if {guard} > {_MAX_LOOP_ITERATIONS}:")
+            self._emit(ind + 2, "raise SimulationError("
+                                "'while-loop iteration limit exceeded')")
+            return
+        if isinstance(stmt, ast.RepeatStmt):
+            self._count(ind, 1, expr_nodes(stmt.count))
+            count = self.ec.compile(stmt.count)
+            loop = self._gensym("it")
+            self._emit(ind, f"for {loop} in range(min({count},"
+                            f" {_MAX_LOOP_ITERATIONS})):")
+            self.emit_stmt(stmt.body, ind + 1)
+            return
+        if isinstance(stmt, ast.NullStmt):
+            self._count(ind, 1, 0)
+            return
+        if isinstance(stmt, ast.DelayStmt):
+            self._count(ind, 1, 0)
+            self.emit_stmt(stmt.stmt, ind)
+            return
+        # System tasks (and anything else) run through the reference
+        # interpreter against the slot store: identical output, cold path.
+        raise CompileFallback(type(stmt).__name__)
+
+    def _emit_case(self, stmt: ast.Case, ind: int) -> None:
+        # The interpreter re-evaluates the subject per label; hoisting it
+        # into a temp is only safe when subject and labels are pure.
+        if not expr_is_pure(stmt.expr) or any(
+                not expr_is_pure(label)
+                for item in stmt.items for label in item.labels):
+            raise CompileFallback("impure case subject/labels")
+        subject_width = self.env.width_of(stmt.expr)
+        ops = expr_nodes(stmt.expr)
+        self._count(ind, 1, ops)
+        subject = self._gensym("c")
+        self._emit(ind, f"{subject} = {self.ec.compile(stmt.expr, subject_width)}")
+        first = True
+        default: Optional[ast.CaseItem] = None
+        for item in stmt.items:
+            if not item.labels:
+                if default is None:
+                    default = item
+                continue
+            for label in item.labels:
+                label_width = max(subject_width, self.env.width_of(label))
+                label_src = self.ec.compile_at(label, label_width)
+                dontcare = 0
+                if stmt.kind in ("casez", "casex") and isinstance(label, ast.Number):
+                    dontcare = label.xz_mask
+                if dontcare:
+                    test = (f"({subject} & {~dontcare}) == "
+                            f"(({label_src}) & {~dontcare})")
+                else:
+                    test = f"{subject} == ({label_src})"
+                self._emit(ind, f"{'if' if first else 'elif'} {test}:")
+                first = False
+                self.emit_stmt(item.stmt, ind + 1)
+        if default is not None:
+            if first:
+                self.emit_stmt(default.stmt, ind)
+            else:
+                self._emit(ind, "else:")
+                self.emit_stmt(default.stmt, ind + 1)
+
+    # -- writers (non-blocking assignment targets) ---------------------------
+
+    def _compile_writer(self, lhs: ast.Expr, value_width: int) -> str:
+        """Compile *lhs* into a named writer function ``nw<k>(value)``.
+
+        The writer evaluates index expressions at call time — the update
+        region — matching ``Evaluator.assign`` called from ``_latch``.
+        """
+        name = f"nw{self._writers}"
+        self._writers += 1
+        saved, self.lines = self.lines, []
+        try:
+            self._emit_store(lhs, "_v", value_width, 1)
+            body = self.lines or ["    pass"]
+        finally:
+            self.lines = saved
+        self.writer_defs.append(f"def {name}(_v):")
+        self.writer_defs.extend(body)
+        self.writer_defs.append("")
+        return name
+
+    # -- whole processes -----------------------------------------------------
+
+    def compile_assign(self, name: str, item: ast.ContinuousAssign) -> List[str]:
+        """Function source for one continuous assignment."""
+        self.lines = []
+        try:
+            width = self.env.width_of(item.lhs)
+            value_width = max(self.env.width_of(item.rhs), width)
+            value = self._gensym("v")
+            self._emit(2, f"{value} = {self.ec.compile(item.rhs, width)}")
+            self._emit_store(item.lhs, value, value_width, 2)
+            footer = f"        EVC.ops_evaluated += {expr_nodes(item.rhs)}"
+        except (CompileFallback, WidthError):
+            # The interpreted fallback counts its own evaluated ops.
+            self.lines = [f"        S._run_assign({self.ec.const_ref(item)})"]
+            footer = "        pass"
+        return ([f"def {name}():", "    try:"] + self.lines
+                + ["    finally:", footer, ""])
+
+    def compile_procedural(self, name: str, stmt: ast.Stmt) -> List[str]:
+        """Function source for an always/initial block body.
+
+        Counters flush in a ``finally`` so a ``$finish`` raised mid-block
+        still records the statements executed up to it, matching the
+        interpreter's incremental counting.
+        """
+        self.lines = []
+        lines = [f"def {name}():", "    _st = 0; _ops = 0", "    try:"]
+        self.emit_stmt(stmt, 2)
+        lines.extend(self.lines)
+        lines.append("    finally:")
+        lines.append("        S.stmts_executed += _st")
+        lines.append("        EVC.ops_evaluated += _ops")
+        lines.append("")
+        return lines

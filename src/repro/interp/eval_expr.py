@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..verilog import ast_nodes as ast
-from ..verilog.width import WidthEnv, WidthError, mask, to_signed
+from ..verilog.width import WidthEnv, WidthError, const_eval, mask, to_signed
 
 # System functions the evaluator resolves through a callback; everything
 # else in expression position is an error.
@@ -69,8 +69,6 @@ class Evaluator:
                 value = (value << part_width) | self._eval(part, part_width)
             return mask(value, width)
         if isinstance(expr, ast.Repeat):
-            from ..verilog.width import const_eval
-
             count = const_eval(expr.count, self.env.params)
             unit_width = self.env.width_of(expr.value)
             unit = self._eval(expr.value, unit_width)
@@ -110,8 +108,6 @@ class Evaluator:
         return (self.store.get(sig.name) >> offset) & 1
 
     def _eval_range(self, expr: ast.RangeSelect) -> int:
-        from ..verilog.width import const_eval
-
         base_width = self.env.width_of(expr.base)
         base = self._eval(expr.base, base_width)
         low, sel_width = self._range_bounds(expr)
@@ -121,8 +117,6 @@ class Evaluator:
 
     def _range_bounds(self, expr: ast.RangeSelect) -> "tuple[int, int]":
         """Return (low bit offset, width) of a part select."""
-        from ..verilog.width import const_eval
-
         sig = None
         if isinstance(expr.base, ast.Identifier):
             sig = self.env.signals.get(expr.base.name)

@@ -18,6 +18,8 @@ software simulation that Synergy's transformations recover on hardware.
 
 from __future__ import annotations
 
+import os
+
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..verilog import ast_nodes as ast
@@ -72,8 +74,15 @@ class _Process:
         self.queued = False
 
 
-class Simulator:
-    """Simulates one flattened module against a :class:`TaskHost`."""
+class InterpSimulator:
+    """Simulates one flattened module against a :class:`TaskHost`.
+
+    This is the *reference* tree-walking interpreter: simple, slow, and
+    the oracle the compiled backend is differentially tested against.
+    Use the :func:`Simulator` factory to pick a backend.
+    """
+
+    backend = "interp"
 
     def __init__(self, module: ast.Module, host: Optional[TaskHost] = None,
                  env: Optional[WidthEnv] = None):
@@ -148,7 +157,7 @@ class Simulator:
             deps |= collect_identifiers(lhs.msb)
         if isinstance(lhs, ast.Concat):
             for part in lhs.parts:
-                deps |= Simulator._lhs_index_deps(part)
+                deps |= InterpSimulator._lhs_index_deps(part)
         return deps
 
     def _initialize(self) -> None:
@@ -501,3 +510,32 @@ class Simulator:
         for proc in self._processes:
             for event in proc.events:
                 event.prev = self._event_value(event)
+
+
+#: Default simulation backend when neither the ``backend`` argument nor
+#: the ``REPRO_SIM_BACKEND`` environment variable says otherwise.
+DEFAULT_BACKEND = "compiled"
+
+
+def Simulator(module: ast.Module, host: Optional[TaskHost] = None,
+              env: Optional[WidthEnv] = None, backend: Optional[str] = None):
+    """Construct a simulator for *module*.
+
+    ``backend="compiled"`` (the default) returns the compile-to-closures
+    :class:`~repro.interp.compile.CompiledSimulator`; ``backend="interp"``
+    returns the reference tree-walking :class:`InterpSimulator`.  Both
+    expose the same ABI surface and bit-identical behaviour — the
+    interpreter is kept as the differential-testing oracle.
+
+    ``REPRO_SIM_BACKEND`` is read per call (not at import), so setting
+    it mid-process — e.g. from a test's monkeypatch — takes effect for
+    every simulator constructed afterwards.
+    """
+    choice = backend or os.environ.get("REPRO_SIM_BACKEND") or DEFAULT_BACKEND
+    if choice == "interp":
+        return InterpSimulator(module, host, env)
+    if choice == "compiled":
+        from .compile.simulator import CompiledSimulator
+
+        return CompiledSimulator(module, host, env)
+    raise ValueError(f"unknown simulation backend {choice!r}")

@@ -22,17 +22,27 @@ class Store:
         self.values: Dict[str, int] = {}
         self.memories: Dict[str, List[int]] = {}
         self._watchers: List[Callable[[str], None]] = []
+        self._notify_one: Optional[Callable[[str], None]] = None
+        self._masks: Dict[str, int] = {}
         for sig in env.signals.values():
             if sig.is_memory:
                 self.memories[sig.name] = [0] * sig.depth
             else:
                 self.values[sig.name] = 0
+                self._masks[sig.name] = (1 << sig.width) - 1
 
     def add_watcher(self, fn: Callable[[str], None]) -> None:
         """Register a callback invoked with a signal name on every change."""
         self._watchers.append(fn)
+        # The overwhelmingly common case is exactly one watcher (the
+        # simulator's dirty tracker) — dispatch to it directly.
+        self._notify_one = fn if len(self._watchers) == 1 else None
 
     def _notify(self, name: str) -> None:
+        one = self._notify_one
+        if one is not None:
+            one(name)
+            return
         for fn in self._watchers:
             fn(name)
 
@@ -46,9 +56,17 @@ class Store:
         raise KeyError(f"unknown signal {name!r}")
 
     def set(self, name: str, value: int, notify: bool = True) -> bool:
-        """Write a scalar; returns True when the stored value changed."""
-        sig = self.env.signal(name)
-        value = mask(value, sig.width)
+        """Write a scalar; returns True when the stored value changed.
+
+        Unchanged writes never reach the watcher-notify path, and masking
+        uses a precomputed per-signal mask instead of a signal lookup.
+        """
+        sig_mask = self._masks.get(name)
+        if sig_mask is None:
+            # Raises WidthError for undeclared names, preserving the
+            # pre-fast-path error surface.
+            sig_mask = mask(-1, self.env.signal(name).width)
+        value &= sig_mask
         if self.values.get(name) == value:
             return False
         self.values[name] = value

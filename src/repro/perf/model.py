@@ -84,10 +84,16 @@ class SwProfile:
 
 def profile_software(program: CompiledProgram, ticks: int = 32,
                      vfs: Optional[VirtualFS] = None,
-                     clock: str = "clock") -> SwProfile:
-    """Run *ticks* in the software interpreter; model interpreted cost."""
+                     clock: str = "clock",
+                     backend: Optional[str] = None) -> SwProfile:
+    """Run *ticks* in the software simulator; model interpreted cost.
+
+    *backend* picks the simulation strategy through the
+    :func:`~repro.interp.simulator.Simulator` factory ("compiled" by
+    default; "interp" measures the reference tree-walker).
+    """
     host = TaskHost(vfs if vfs is not None else VirtualFS())
-    engine = SoftwareEngine(program, host)
+    engine = SoftwareEngine(program, host, backend=backend)
     total_seconds = 0.0
     done = 0
     for _ in range(ticks):

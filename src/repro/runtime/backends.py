@@ -75,9 +75,10 @@ class DirectBoardBackend:
     """Single-tenant backend: one device, one resident program."""
 
     def __init__(self, device: Device, cache: Optional[CompilationCache] = None,
-                 anti_congestion: bool = False):
+                 anti_congestion: bool = False,
+                 sim_backend: Optional[str] = None):
         self.device = device
-        self.board = SimulatedBoard(device)
+        self.board = SimulatedBoard(device, sim_backend=sim_backend)
         self.cache = cache if cache is not None else CompilationCache()
         self.anti_congestion = anti_congestion
         self._next_engine_id = 1

@@ -74,14 +74,22 @@ class Engine:
 
 
 class SoftwareEngine(Engine):
-    """Interprets the original program; the starting point of every app."""
+    """Simulates the original program; the starting point of every app.
+
+    *backend* selects the simulation strategy (``"compiled"`` closures
+    by default, ``"interp"`` for the reference tree-walker) through the
+    :func:`~repro.interp.simulator.Simulator` factory.
+    """
 
     kind = "software"
 
-    def __init__(self, program: CompiledProgram, host: TaskHost):
+    def __init__(self, program: CompiledProgram, host: TaskHost,
+                 backend: Optional[str] = None):
         self.program = program
         self.host = host
-        self.sim = Simulator(program.flat, host, env=program.env)
+        self.backend = backend
+        self.sim = Simulator(program.flat, host, env=program.env,
+                             backend=backend)
 
     def get(self, name: str) -> int:
         return self.sim.get(name)

@@ -57,15 +57,18 @@ class Runtime:
     def __init__(self, source, name: Optional[str] = None,
                  vfs: Optional[VirtualFS] = None, top: Optional[str] = None,
                  clock: str = "clock", echo: bool = False,
-                 costs: Optional[TransitionCosts] = None):
+                 costs: Optional[TransitionCosts] = None,
+                 sim_backend: Optional[str] = None):
         self.program: CompiledProgram = (
             source if isinstance(source, CompiledProgram)
             else compile_program(source, top)
         )
         self.name = name or self.program.name
         self.clock = clock
+        self.sim_backend = sim_backend
         self.host = TaskHost(vfs if vfs is not None else VirtualFS(), echo=echo)
-        self.engine: Engine = SoftwareEngine(self.program, self.host)
+        self.engine: Engine = SoftwareEngine(self.program, self.host,
+                                             backend=sim_backend)
         self.costs = costs or TransitionCosts()
         self.refinement = AdaptiveRefinement()
 
@@ -139,7 +142,8 @@ class Runtime:
     def transition_to_software(self) -> None:
         """Evacuate state from hardware back into a software engine."""
         state = self.engine.snapshot()
-        engine = SoftwareEngine(self.program, self.host)
+        engine = SoftwareEngine(self.program, self.host,
+                                backend=self.sim_backend)
         engine.restore(state)
         transfer = self.program.state.total_bits / self.costs.state_bandwidth_bits_s
         self.sim_time += transfer

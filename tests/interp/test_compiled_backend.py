@@ -1,0 +1,222 @@
+"""Differential testing: compiled backend vs the reference interpreter.
+
+Every ``src/repro/bench`` workload runs N ticks on both backends from
+identical initial conditions; architectural state (``snapshot()``),
+``$display`` output, and finish status must be bit-identical.  The
+interpreter is the oracle — any divergence is a compiled-backend bug.
+"""
+
+import pytest
+
+from repro.bench import BENCHMARKS, datagen, regexc
+from repro.harness.common import bench_vfs
+from repro.interp import (
+    CompiledSimulator, InterpSimulator, Simulator, TaskHost, VirtualFS,
+)
+from repro.verilog import flatten, parse
+
+#: (workload, ticks) — tick counts sized so the slow oracle stays fast
+#: while still crossing resets, memory traffic, file IO and $finish.
+WORKLOADS = [
+    ("adpcm", 64),
+    ("bitcoin", 24),
+    ("df", 48),
+    ("mips32", 64),
+    ("nw", 64),
+    ("regex", 64),
+]
+
+
+def _run(flat, vfs_factory, backend, ticks):
+    host = TaskHost(vfs_factory())
+    sim = Simulator(flat, host, backend=backend)
+    sim.tick(cycles=ticks)
+    return {
+        "snapshot": sim.store.snapshot(),
+        "display": list(host.display_log),
+        "finished": host.finished,
+        "finish_code": host.finish_code,
+        "time": sim.time,
+    }
+
+
+@pytest.mark.parametrize("name,ticks", WORKLOADS)
+def test_bench_workloads_identical(name, ticks):
+    flat = flatten(parse(BENCHMARKS[name].source()), name)
+    vfs_factory = lambda: bench_vfs(name, scale=1 << 12)
+    interp = _run(flat, vfs_factory, "interp", ticks)
+    compiled = _run(flat, vfs_factory, "compiled", ticks)
+    assert compiled["display"] == interp["display"]
+    assert compiled["finished"] == interp["finished"]
+    assert compiled["finish_code"] == interp["finish_code"]
+    assert compiled["time"] == interp["time"]
+    diff = {
+        key for key in interp["snapshot"]
+        if interp["snapshot"][key] != compiled["snapshot"].get(key)
+    }
+    assert not diff, f"state divergence on {sorted(diff)[:8]}"
+    assert compiled["snapshot"] == interp["snapshot"]
+
+
+def test_regexc_matcher_identical():
+    text = datagen.regex_text(512)
+    flat = flatten(parse(regexc.source("a(b|c)*d")), "regexc")
+
+    def vfs_factory():
+        vfs = VirtualFS()
+        vfs.add_file("regex_input.txt", text.encode())
+        return vfs
+
+    interp = _run(flat, vfs_factory, "interp", len(text) + 5)
+    compiled = _run(flat, vfs_factory, "compiled", len(text) + 5)
+    assert compiled == interp
+
+
+def test_factory_backend_selection():
+    flat = flatten(parse("module m(input wire clock); endmodule"), "m")
+    assert isinstance(Simulator(flat, backend="interp"), InterpSimulator)
+    compiled = Simulator(flat, backend="compiled")
+    assert isinstance(compiled, CompiledSimulator)
+    # The compiled simulator is also an InterpSimulator: cold paths
+    # (system tasks, fallbacks) reuse the reference implementation.
+    assert isinstance(compiled, InterpSimulator)
+    with pytest.raises(ValueError):
+        Simulator(flat, backend="jit")
+
+
+def test_edge_before_star_keeps_interp_order():
+    """An edge proc queued in the same drain as an always@* must run
+    first when it was registered first (the interpreter's FIFO)."""
+    src = """
+        module m(input wire clock);
+          reg d = 0;
+          reg q = 0;
+          reg comb = 0;
+          initial d = 1;
+          always @(posedge clock) q <= comb;
+          always @(*) if (clock) comb = d; else comb = 0;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    results = {}
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        sim.tick()
+        results[backend] = sim.store.snapshot()
+    assert results["compiled"] == results["interp"]
+
+
+def test_set_on_memory_name_matches_reference_store():
+    """ABI set() on a declared memory name shadows, like the oracle."""
+    flat = flatten(parse(
+        "module m(input wire clock); reg [7:0] mem [0:3]; endmodule"), "m")
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        assert sim.store.set("mem", 5) is True
+        assert sim.store.get("mem") == 5
+        assert sim.store.mem_get("mem", 0) == 0
+
+
+def test_impure_continuous_assign_matches_oracle():
+    """$random in assign RHS forces oracle-identical FIFO ordering."""
+    src = """
+        module m(input wire clock);
+          wire [31:0] r1 = $random;
+          wire [31:0] r2 = $random;
+          reg [31:0] a = 0;
+          always @(posedge clock) a <= r1 ^ r2;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    snaps = {}
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        sim.tick(cycles=4)
+        snaps[backend] = sim.store.snapshot()
+    assert snaps["compiled"] == snaps["interp"]
+
+
+def test_mixed_pure_impure_star_blocks_keep_interp_order():
+    """A pure always@* must not be resequenced past an impure sibling."""
+    src = """
+        module m(input wire clock);
+          reg a = 0;
+          reg x = 0;
+          always @(*) if (a) $display("x=%d", x);
+          always @(*) x = a;
+          always @(posedge clock) a <= 1;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    logs = {}
+    for backend in ("interp", "compiled"):
+        host = TaskHost()
+        Simulator(flat, host, backend=backend).tick(cycles=2)
+        logs[backend] = list(host.display_log)
+    assert logs["compiled"] == logs["interp"] == ["x=0", "x=1"]
+
+
+def test_long_settle_does_not_trip_convergence_guard():
+    """The guard scales with process count, like the interpreter's."""
+    src = """
+        module m(input wire clock);
+          reg go = 0;
+          integer k = 0;
+          reg [31:0] probe = 0;
+          wire [31:0] kc = k + 1;
+          always @(*) begin
+            if (go && k < 6000) begin
+              $display("step");
+              k = k + 1;
+            end
+          end
+          always @(*) probe = kc;
+          always @(posedge clock) go <= 1;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        sim.tick(cycles=1)
+        assert sim.get("k") == 6000
+
+
+def test_negative_constant_shift_matches_oracle():
+    """A negative constant shift amount masks unsigned, yielding 0."""
+    src = """
+        module m(input wire clock);
+          parameter P = -1;
+          reg [7:0] x = 8'hAA;
+          wire [7:0] y = x >> P;
+          wire [7:0] z = x << P;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    snaps = {}
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        sim.step()
+        snaps[backend] = sim.store.snapshot()
+    assert snaps["compiled"] == snaps["interp"]
+    assert snaps["interp"]["y"] == 0
+
+
+def test_save_restore_roundtrip_across_backends():
+    """A snapshot taken on one backend restores onto the other."""
+    src = """
+        module m(input wire clock);
+          reg [31:0] acc = 0;
+          reg [7:0] mem [0:15];
+          integer i;
+          initial for (i = 0; i < 16; i = i + 1) mem[i] = i * 3;
+          always @(posedge clock) acc <= acc + mem[acc[3:0]];
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    a = Simulator(flat, TaskHost(), backend="compiled")
+    b = Simulator(flat, TaskHost(), backend="interp")
+    a.tick(cycles=9)
+    b.restore_state(a.save_state())
+    a.tick(cycles=7)
+    b.tick(cycles=7)
+    assert b.store.snapshot() == a.store.snapshot()
