@@ -4,12 +4,16 @@ complete Python reproduction.
 Public entry points:
 
 * :func:`repro.core.compile_program` — the §3 compiler pipeline;
+* :class:`repro.compiler.CompilerService` — the shared, content-
+  addressed compiler service (§4 one-compiler, §7 caching);
 * :class:`repro.runtime.Runtime` — one virtualized application;
 * :class:`repro.hypervisor.Hypervisor` — multi-tenant sharing (§4);
 * :class:`repro.debug.Debugger` — sub-clock-tick step debugging;
 * :mod:`repro.harness` — regenerates every table/figure of §6.
 """
 
+from .compiler import ArtifactStore
+from .compiler.service import CompilerService
 from .core.pipeline import CompiledProgram, compile_program
 from .runtime.runtime import Context, Runtime
 from .runtime.backends import DirectBoardBackend
@@ -19,6 +23,7 @@ from .fabric.device import DE10, F1
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore", "CompilerService",
     "CompiledProgram", "compile_program",
     "Context", "Runtime", "DirectBoardBackend",
     "Hypervisor", "DE10", "F1",

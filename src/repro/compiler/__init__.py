@@ -1,0 +1,41 @@
+"""Content-addressed compiler service (paper §4 one-compiler, §7 caching).
+
+* :class:`ArtifactStore` — content-addressed cache over every compiler
+  stage (parse, program, simulator codegen, synthesis estimate,
+  bitstream) with unified hit/miss/eviction statistics and bounded-LRU
+  growth.
+* :class:`CompilerService` — the pass pipeline the runtime, fabric
+  backends, hypervisor and harness all share; stages intern their
+  results in one store so N instances of one workload compile once.
+
+``REPRO_COMPILER_CACHE=1`` makes un-plumbed call sites resolve to one
+process-wide store (:func:`shared_store`).
+"""
+
+from .artifacts import (
+    ArtifactStore, KindStats, resolve_store, shared_store, text_digest,
+)
+
+_LAZY = ("CompilerService", "default_service",
+         "KIND_PARSE", "KIND_SOURCE", "KIND_PROGRAM", "KIND_CODEGEN",
+         "KIND_SYNTH", "KIND_BITSTREAM")
+
+
+def __getattr__(name):
+    # Lazy re-export: the service pulls in the verilog front end and the
+    # core pipeline; loading it here eagerly would cycle with
+    # repro.fabric (whose cache imports this package for the store).
+    if name in _LAZY:
+        from . import service as _service
+
+        return getattr(_service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ArtifactStore", "KindStats", "resolve_store", "shared_store",
+    "text_digest",
+    "CompilerService", "default_service",
+    "KIND_PARSE", "KIND_SOURCE", "KIND_PROGRAM", "KIND_CODEGEN",
+    "KIND_SYNTH", "KIND_BITSTREAM",
+]

@@ -1,0 +1,151 @@
+"""The pass-based compiler service: one compiler, many instances.
+
+SYNERGY's hypervisor exists so that *one* compiler can serve every
+connected runtime (§4); deterministic code generation (§7) makes each
+of its stages cacheable by content address.  :class:`CompilerService`
+is that compiler: a thin pass pipeline where every stage result —
+parsed :class:`~repro.verilog.ast_nodes.SourceFile`, compiled
+:class:`~repro.core.pipeline.CompiledProgram`, generated simulator
+code (:class:`~repro.interp.compile.CompiledModuleCode`), synthesis
+estimate — is interned in an :class:`~repro.compiler.artifacts.ArtifactStore`
+under a digest of the stage's deterministic inputs.
+
+Layers share artifacts by sharing a service (or just a store): the
+hypervisor hands its service to its board so N tenants running the
+same workload build simulator code once; the direct backend shares one
+with its bitstream cache; the harness keeps a module-wide one.  A
+service built without an explicit store resolves through
+:func:`~repro.compiler.artifacts.resolve_store` — private by default,
+process-wide under ``REPRO_COMPILER_CACHE=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.pipeline import CompiledProgram, build_program
+from ..verilog import ast_nodes as ast
+from ..verilog.parser import parse
+from ..verilog.printer import print_module, print_source
+from .artifacts import ArtifactStore, resolve_store, text_digest
+
+#: Artifact kinds, one per compiler stage (bitstreams use the same
+#: store through the :class:`~repro.fabric.cache.CompilationCache`
+#: view, under ``KIND_BITSTREAM``).
+KIND_PARSE = "parse"
+KIND_SOURCE = "source"      # raw-text alias → compiled program
+KIND_PROGRAM = "program"
+KIND_CODEGEN = "codegen"
+KIND_SYNTH = "synth"
+KIND_BITSTREAM = "bitstream"
+
+
+class CompilerService:
+    """Content-addressed pass pipeline over one artifact store."""
+
+    def __init__(self, store: Optional[ArtifactStore] = None):
+        self.store = resolve_store(store)
+
+    # -- front end ---------------------------------------------------------
+
+    def parse(self, text: str) -> ast.SourceFile:
+        """Parse Verilog text (cached by raw-text digest)."""
+        return self.store.get_or_build(
+            KIND_PARSE, text_digest(text), lambda: parse(text)
+        )
+
+    def compile_program(
+        self,
+        source: Union[str, ast.SourceFile, ast.Module, CompiledProgram],
+        top: Optional[str] = None,
+    ) -> CompiledProgram:
+        """Run (or reuse) the full §3 pipeline over *source*.
+
+        All three input kinds are canonicalized through the
+        deterministic printer, so text, its parse, and its flattened
+        module converge on stable digests; raw text additionally gets
+        a cheap alias entry so the hot warm path is one digest plus a
+        dictionary hit.
+        """
+        if isinstance(source, CompiledProgram):
+            return source
+        alias_key: Optional[str] = None
+        if isinstance(source, str):
+            alias_key = f"{text_digest(source)}\x00top={top or ''}"
+            program = self.store.get(KIND_SOURCE, alias_key)
+            if program is not None:
+                return program
+            parsed = self.parse(source)
+        elif isinstance(source, ast.SourceFile):
+            parsed = source
+        else:
+            parsed = ast.SourceFile((source,))
+        top_name = top if top is not None else parsed.modules[-1].name
+        key = text_digest(print_source(parsed) + f"\x00top={top_name}")
+        program = self.store.get_or_build(
+            KIND_PROGRAM, key, lambda: build_program(parsed, top_name)
+        )
+        if alias_key is not None:
+            self.store.put(KIND_SOURCE, alias_key, program)
+        return program
+
+    # -- simulator code generation ----------------------------------------
+
+    def codegen(self, module: ast.Module, env=None,
+                digest: Optional[str] = None):
+        """Shareable compiled-simulator code for *module*.
+
+        *digest* must content-address the module's deterministic text;
+        callers holding a :class:`CompiledProgram` pass ``.digest``
+        (flat module) or ``.hardware_digest`` (transformed module) so
+        nothing is re-printed.  The returned
+        :class:`~repro.interp.compile.CompiledModuleCode` is immutable
+        and shared: each engine instantiates its own state against it.
+        """
+        from ..interp.compile import CompiledModuleCode
+
+        if digest is None:
+            digest = text_digest(print_module(module))
+        return self.store.get_or_build(
+            KIND_CODEGEN, digest, lambda: CompiledModuleCode(module, env=env)
+        )
+
+    # -- synthesis ---------------------------------------------------------
+
+    def estimate(self, module: ast.Module, env, options,
+                 digest: Optional[str] = None, env_tag: str = ""):
+        """Cached synthesis estimate for (module text, options).
+
+        *env_tag* discriminates call sites that estimate the same
+        module under different width environments (the coalescer
+        estimates transformed modules against the flat env; the hull
+        uses the transformed env) — their numbers differ and must not
+        alias.
+        """
+        from ..fabric.synth import Synthesizer
+
+        if digest is None:
+            digest = text_digest(print_module(module))
+        key = f"{digest}\x00{options.key}\x00{env_tag}"
+        return self.store.get_or_build(
+            KIND_SYNTH, key, lambda: Synthesizer(options).estimate(module, env)
+        )
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self, kind: Optional[str] = None):
+        """Aggregate (or per-kind) statistics of the backing store."""
+        return self.store.stats(kind)
+
+
+def default_service() -> CompilerService:
+    """The service un-plumbed call sites get.
+
+    Store selection is :func:`~repro.compiler.artifacts.resolve_store`'s
+    (the single home of the ``REPRO_COMPILER_CACHE`` rule): the
+    process-wide shared store when the variable is set, otherwise a
+    fresh private store — i.e. no caching across calls, matching the
+    pre-refactor pipeline.  The service itself is a stateless wrapper,
+    so a fresh one per call is free.
+    """
+    return CompilerService()

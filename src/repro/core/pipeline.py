@@ -6,16 +6,22 @@ machinify.  The result bundles everything later stages need — the
 original flattened module (for software execution), the transformed
 module (for hardware execution), the task table (for servicing traps),
 and the state report (for capture and quiescence).
+
+Since the compiler-service refactor this module holds only the *build*
+step and the result type; caching and content addressing live in
+:mod:`repro.compiler`.  ``compile_program`` remains as a thin shim over
+the default :class:`~repro.compiler.CompilerService` so existing call
+sites keep working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional, Union
 
 from ..verilog import ast_nodes as ast
 from ..verilog.elaborate import flatten
-from ..verilog.parser import parse
 from ..verilog.printer import print_module
 from ..verilog.width import WidthEnv
 from .machinify import TransformResult, machinify
@@ -24,7 +30,14 @@ from .statevars import StateReport, analyze_state
 
 @dataclass
 class CompiledProgram:
-    """Everything the virtualization stack knows about one program."""
+    """Everything the virtualization stack knows about one program.
+
+    ``source`` is the *canonical* text — the deterministic printer's
+    rendering of the flattened module — for every input kind, so the
+    digests below are stable whether the program arrived as raw
+    Verilog text, a parsed source file, or an already-flattened module
+    (§7: deterministic code generation increases cache hit rates).
+    """
 
     source: str
     flat: ast.Module
@@ -36,7 +49,7 @@ class CompiledProgram:
     def name(self) -> str:
         return self.flat.name
 
-    @property
+    @cached_property
     def hardware_text(self) -> str:
         """Deterministic Verilog text of the transformed module.
 
@@ -47,7 +60,45 @@ class CompiledProgram:
 
     @property
     def software_text(self) -> str:
-        return print_module(self.flat)
+        return self.source
+
+    @cached_property
+    def digest(self) -> str:
+        """Content address of the canonical (software) text."""
+        from ..compiler.artifacts import text_digest
+
+        return text_digest(self.source)
+
+    @cached_property
+    def hardware_digest(self) -> str:
+        """Content address of the transformed (hardware) text."""
+        from ..compiler.artifacts import text_digest
+
+        return text_digest(self.hardware_text)
+
+    @cached_property
+    def hardware_env(self) -> WidthEnv:
+        """Width environment of the transformed module (memoized —
+        synthesis estimation and board slots would otherwise rebuild
+        it on every placement)."""
+        return WidthEnv(self.transform.module)
+
+
+def build_program(parsed: ast.SourceFile,
+                  top: Optional[str] = None) -> CompiledProgram:
+    """Run the (uncached) pipeline over a parsed source file.
+
+    This is the raw build step the compiler service wraps; *top*
+    selects the root module (defaults to the last module in the file,
+    matching common testbench conventions).
+    """
+    top_name = top if top is not None else parsed.modules[-1].name
+    flat = flatten(parsed, top_name)
+    text = print_module(flat)
+    env = WidthEnv(flat)
+    transform = machinify(flat, env)
+    state = analyze_state(flat, env)
+    return CompiledProgram(text, flat, env, transform, state)
 
 
 def compile_program(
@@ -57,25 +108,10 @@ def compile_program(
     """Run the full Synergy pipeline over *source*.
 
     *source* may be Verilog text, a parsed :class:`SourceFile`, or an
-    already-flattened :class:`Module`.  *top* selects the root module
-    (defaults to the last module in the file, matching common testbench
-    conventions).
+    already-flattened :class:`Module`.  Thin shim over the default
+    compiler service: private (uncached across calls) unless
+    ``REPRO_COMPILER_CACHE=1`` selects the process-wide artifact store.
     """
-    if isinstance(source, str):
-        text = source
-        parsed = parse(source)
-    elif isinstance(source, ast.SourceFile):
-        parsed = source
-        text = ""
-    else:
-        parsed = ast.SourceFile((source,))
-        text = ""
+    from ..compiler import default_service
 
-    top_name = top if top is not None else parsed.modules[-1].name
-    flat = flatten(parsed, top_name)
-    if not text:
-        text = print_module(flat)
-    env = WidthEnv(flat)
-    transform = machinify(flat, env)
-    state = analyze_state(flat, env)
-    return CompiledProgram(text, flat, env, transform, state)
+    return default_service().compile_program(source, top)

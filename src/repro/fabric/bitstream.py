@@ -9,19 +9,14 @@ state-safe compilation protocol and the compilation-cache ablation.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Optional
 
+from ..compiler.artifacts import text_digest  # noqa: F401  (canonical home)
 from .device import Device
 from .synth import ResourceEstimate, SynthOptions, Synthesizer
 from ..verilog import ast_nodes as ast
 from ..verilog.width import WidthEnv
-
-
-def text_digest(text: str) -> str:
-    """Stable digest of generated Verilog — the compilation-cache key."""
-    return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
 @dataclass(frozen=True)

@@ -25,7 +25,7 @@ from typing import Dict, Optional
 
 from ..core.control import ABI_CONT, ABI_NONE, ABI_PORT, NATIVE_CLOCK
 from ..core.pipeline import CompiledProgram
-from ..interp.simulator import Simulator
+from ..interp.simulator import Simulator, resolve_backend
 from ..interp.systasks import TaskHost
 from ..verilog import ast_nodes as ast
 from .bitstream import Bitstream
@@ -79,9 +79,15 @@ class EngineSlot:
 class SimulatedBoard:
     """A reconfigurable device executing transformed sub-programs."""
 
-    def __init__(self, device: Device, sim_backend: Optional[str] = None):
+    def __init__(self, device: Device, sim_backend: Optional[str] = None,
+                 compiler=None):
         self.device = device
         self.sim_backend = sim_backend
+        #: Optional :class:`~repro.compiler.CompilerService`: slots of
+        #: programs with the same transformed text then share one
+        #: codegen artifact — reprogramming epochs and same-workload
+        #: tenants stop paying per-slot compilation.
+        self.compiler = compiler
         self.bitstream: Optional[Bitstream] = None
         self.clock_hz: float = device.max_clock_hz
         self.slots: Dict[int, EngineSlot] = {}
@@ -89,6 +95,14 @@ class SimulatedBoard:
         self.reconfig_seconds_total = 0.0
 
     # -- (re)programming -------------------------------------------------------
+
+    def _slot_code(self, program: CompiledProgram):
+        """Shared codegen for one slot's transformed module (or None)."""
+        if self.compiler is None or resolve_backend(self.sim_backend) != "compiled":
+            return None
+        return self.compiler.codegen(program.transform.module,
+                                     env=program.hardware_env,
+                                     digest=program.hardware_digest)
 
     def program(self, bitstream: Bitstream,
                 engines: Dict[int, CompiledProgram]) -> None:
@@ -104,7 +118,8 @@ class SimulatedBoard:
             # behaviour only ever reaches hardware as task traps, so the
             # slot's TaskHost must stay silent.
             sim = Simulator(program.transform.module, TaskHost(),
-                            backend=self.sim_backend)
+                            backend=self.sim_backend,
+                            code=self._slot_code(program))
             self.slots[engine_id] = EngineSlot(engine_id, program, sim)
 
     def _slot(self, engine_id: int) -> EngineSlot:

@@ -53,6 +53,26 @@ class SynthOptions:
     #: program (see :func:`repro.core.statevars.task_nesting`).
     task_nesting: int = 0
 
+    @property
+    def key(self) -> str:
+        """Deterministic cache-key component for these options.
+
+        ``repr`` is not usable here: ``captured_names`` is a frozenset
+        whose repr order follows (per-process randomized) string
+        hashing, so keys built from it would not survive a process
+        boundary.  Sorting the names makes the key stable everywhere.
+        """
+        captured = ("*" if self.captured_names is None
+                    else ",".join(sorted(self.captured_names)))
+        return (
+            f"pm={int(self.preserve_memories)};"
+            f"sab={self.state_access_bits};"
+            f"ac={int(self.anti_congestion)};"
+            f"cs={self.control_states};"
+            f"tn={self.task_nesting};"
+            f"cap={captured}"
+        )
+
 
 @dataclass
 class ResourceEstimate:

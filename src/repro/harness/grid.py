@@ -25,15 +25,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..bench import BENCHMARKS
-from ..core.pipeline import CompiledProgram, compile_program
 from ..fabric.device import F1, Device
-from ..fabric.synth import ResourceEstimate, SynthOptions, Synthesizer
+from ..fabric.synth import ResourceEstimate, SynthOptions
 from ..runtime.backends import synth_options_for
 from ..verilog import ast_nodes as ast
-from ..verilog.printer import print_module
 from ..verilog.rewrite import map_expr, map_stmt_exprs
-from ..verilog.width import WidthEnv
-from .common import ExperimentResult, bench_program
+from .common import ExperimentResult, bench_program, harness_compiler
 
 CONDITIONS = ("aos", "aos-ff", "cascade", "synergy", "synergy-q")
 
@@ -139,33 +136,46 @@ def _achieved_hz(device: Device, levels: int) -> float:
 
 def compile_cell(bench: str, condition: str, device: Device = F1,
                  anti_congestion: bool = False) -> GridCell:
-    """Compile one grid cell and estimate its resources/frequency."""
+    """Compile one grid cell and estimate its resources/frequency.
+
+    Estimates go through the harness compiler service, so grid cells,
+    hypervisor placements and bitstream builds of the same (text,
+    options) pair share one synthesis artifact.
+    """
+    compiler = harness_compiler()
     if condition == "aos":
         program = bench_program(bench)
-        est = Synthesizer(SynthOptions(
-            anti_congestion=anti_congestion)).estimate(program.flat, program.env)
+        est = compiler.estimate(
+            program.flat, program.env,
+            SynthOptions(anti_congestion=anti_congestion),
+            digest=program.digest, env_tag="sw")
     elif condition == "aos-ff":
         program = bench_program(bench)
-        est = Synthesizer(SynthOptions(
-            preserve_memories=False,
-            anti_congestion=anti_congestion)).estimate(program.flat, program.env)
+        est = compiler.estimate(
+            program.flat, program.env,
+            SynthOptions(preserve_memories=False,
+                         anti_congestion=anti_congestion),
+            digest=program.digest, env_tag="sw")
     elif condition == "cascade":
         base = bench_program(bench)
         stripped = strip_tasks(base.flat)
-        program = compile_program(stripped)
+        program = compiler.compile_program(stripped)
         options = synth_options_for(program, anti_congestion)
-        env = WidthEnv(program.transform.module)
-        est = Synthesizer(options).estimate(program.transform.module, env)
+        est = compiler.estimate(
+            program.transform.module, program.hardware_env, options,
+            digest=program.hardware_digest, env_tag="hw")
     elif condition == "synergy":
         program = bench_program(bench)
         options = synth_options_for(program, anti_congestion)
-        env = WidthEnv(program.transform.module)
-        est = Synthesizer(options).estimate(program.transform.module, env)
+        est = compiler.estimate(
+            program.transform.module, program.hardware_env, options,
+            digest=program.hardware_digest, env_tag="hw")
     elif condition == "synergy-q":
         program = bench_program(bench, quiescence=True)
         options = synth_options_for(program, anti_congestion)
-        env = WidthEnv(program.transform.module)
-        est = Synthesizer(options).estimate(program.transform.module, env)
+        est = compiler.estimate(
+            program.transform.module, program.hardware_env, options,
+            digest=program.hardware_digest, env_tag="hw")
     else:
         raise ValueError(f"unknown condition {condition!r}")
     return GridCell(bench, condition, est, _achieved_hz(device, est.logic_levels))

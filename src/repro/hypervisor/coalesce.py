@@ -15,14 +15,14 @@ frequency — down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..compiler.service import CompilerService
 from ..core.pipeline import CompiledProgram
 from ..fabric.bitstream import text_digest
 from ..fabric.device import Device
 from ..fabric.synth import ResourceEstimate, SynthOptions, Synthesizer
 from ..runtime.backends import synth_options_for
-from ..verilog.printer import print_module
 
 
 def engine_module_name(engine_id: int) -> str:
@@ -66,13 +66,18 @@ CDC_FFS_PER_ENGINE = 180
 
 def coalesce(programs: Dict[int, CompiledProgram], device: Device,
              anti_congestion: bool = False,
-             clock_domains: bool = False) -> CoalescedDesign:
+             clock_domains: bool = False,
+             compiler: Optional[CompilerService] = None) -> CoalescedDesign:
     """Combine the transformed modules of *programs* into one design.
 
     With ``clock_domains=True`` (the Figure 12 future-work fix), each
     sub-program closes timing in its own clock domain and pays for
     clock-crossing logic, so a slow arrival (adpcm) no longer drags
     every co-resident's clock down.
+
+    *compiler* interns each member's synthesis estimate in the shared
+    artifact store: a membership change then re-estimates only the new
+    arrival instead of every surviving tenant, every epoch.
     """
     parts: List[str] = []
     total = ResourceEstimate()
@@ -83,12 +88,17 @@ def coalesce(programs: Dict[int, CompiledProgram], device: Device,
         # hypervisor identifier; the text is the cache-key payload.
         renamed = program.transform.module
         header = f"// engine {engine_id}: {program.name}\n"
-        body = print_module(renamed).replace(
+        body = program.hardware_text.replace(
             f"module {renamed.name}(", f"module {engine_module_name(engine_id)}(", 1
         )
         parts.append(header + body)
         options = synth_options_for(program, anti_congestion)
-        est = Synthesizer(options).estimate(renamed, program.env)
+        if compiler is not None:
+            est = compiler.estimate(renamed, program.env, options,
+                                    digest=program.hardware_digest,
+                                    env_tag="flatenv")
+        else:
+            est = Synthesizer(options).estimate(renamed, program.env)
         levels[engine_id] = est.logic_levels
         total.luts += est.luts
         total.ffs += est.ffs

@@ -18,12 +18,14 @@ from typing import Dict, List, Optional, Tuple
 
 from ..amorphos.hull import Hull, ProtectionError
 from ..amorphos.morphlet import ProtectionDomain
+from ..compiler.artifacts import ArtifactStore
+from ..compiler.service import CompilerService
 from ..core.pipeline import CompiledProgram
 from ..fabric.bitstream import Bitstream, BitstreamCompiler
 from ..fabric.board import SimulatedBoard
 from ..fabric.cache import CompilationCache
 from ..fabric.device import Device
-from ..fabric.synth import SynthOptions, Synthesizer
+from ..fabric.synth import SynthOptions
 from ..runtime.abi import (
     AbiChannel, BatchReply, Cont, Evaluate, Get, Message, ReadExpr,
     Restore, RunTicks, Set, Snapshot, TrapReply, Update, WriteLval,
@@ -47,11 +49,29 @@ class Hypervisor:
                  network_latency_s: float = 5e-5,
                  anti_congestion: bool = False,
                  clock_domains: bool = False,
-                 sim_backend: Optional[str] = None):
+                 sim_backend: Optional[str] = None,
+                 compiler: Optional[CompilerService] = None,
+                 artifacts: Optional[ArtifactStore] = None):
         self.device = device
         self.sim_backend = sim_backend
-        self.board = SimulatedBoard(device, sim_backend=sim_backend)
-        self.cache = cache if cache is not None else CompilationCache()
+        # One compiler, many instances (§4): the bitstream cache, the
+        # board's slot codegen, the coalescer's synthesis estimates and
+        # the hull's load estimates all address one artifact store.  An
+        # explicit *compiler* or *artifacts* joins a wider store (e.g.
+        # shared across a fleet of hypervisors); a passed *cache*
+        # contributes its store; otherwise the store is private (or
+        # process-wide under REPRO_COMPILER_CACHE=1).
+        if compiler is None:
+            store = artifacts
+            if store is None and cache is not None:
+                store = cache.store
+            compiler = CompilerService(store)
+        self.compiler = compiler
+        self.artifacts = compiler.store
+        self.board = SimulatedBoard(device, sim_backend=sim_backend,
+                                    compiler=compiler)
+        self.cache = (cache if cache is not None
+                      else CompilationCache(store=self.artifacts))
         self.hull = Hull(device) if use_hull else None
         self.parent = parent
         self.network_latency_s = network_latency_s
@@ -96,7 +116,7 @@ class Hypervisor:
         programs = {rec.engine_id: rec.program for rec in self.table.active
                     if rec.engine_id not in self._remote}
         design = coalesce(programs, self.device, self.anti_congestion,
-                          self.clock_domains)
+                          self.clock_domains, compiler=self.compiler)
 
         if not self.device.fits(design.resources.luts, design.resources.ffs):
             # The device is full: delegate this sub-program to the
@@ -120,11 +140,10 @@ class Hypervisor:
             )
 
         if self.hull is not None:
-            from ..verilog.width import WidthEnv
-
             options = synth_options_for(program, self.anti_congestion)
-            est = Synthesizer(options).estimate(
-                program.transform.module, WidthEnv(program.transform.module)
+            est = self.compiler.estimate(
+                program.transform.module, program.hardware_env, options,
+                digest=program.hardware_digest, env_tag="hw",
             )
             record.morphlet = self.hull.load(domain, program, est)
 
@@ -149,12 +168,25 @@ class Hypervisor:
             compile_seconds=compiler.compile_latency(design.resources),
         )
 
+    @property
+    def _bitstream_options_key(self) -> str:
+        """Options discriminator for coalesced-design bitstreams.
+
+        ``design.digest`` covers the member text, device and clock-domain
+        mode but not the P&R strategy, while the cached bitstream's
+        clock/resources depend on it — so ``anti_congestion`` must be in
+        the key or two hypervisors sharing one store would alias designs
+        compiled under different strategies.
+        """
+        return f"hypervisor;ac={int(self.anti_congestion)}"
+
     def _compile(self, design: CoalescedDesign) -> Tuple[Bitstream, float, bool]:
-        cached = self.cache.lookup(self.device.name, "hypervisor", design.digest)
+        options_key = self._bitstream_options_key
+        cached = self.cache.lookup(self.device.name, options_key, design.digest)
         if cached is not None:
             return cached, 0.0, True
         bitstream = self._make_bitstream(design)
-        self.cache.insert(self.device.name, "hypervisor", bitstream)
+        self.cache.insert(self.device.name, options_key, bitstream)
         return bitstream, bitstream.compile_seconds, False
 
     # -- speculative compilation (§7 future work) -----------------------------
@@ -163,7 +195,8 @@ class Hypervisor:
         from ..fabric.speculative import SpeculativeCompiler
 
         self.speculator = SpeculativeCompiler(
-            self.cache, self.device.name, "hypervisor", parallelism
+            self.cache, self.device.name, self._bitstream_options_key,
+            parallelism
         )
 
     def speculate_departures(self, now: float) -> int:
@@ -185,7 +218,7 @@ class Hypervisor:
             if not programs:
                 continue
             candidate = coalesce(programs, self.device, self.anti_congestion,
-                                 self.clock_domains)
+                                 self.clock_domains, compiler=self.compiler)
             self.speculator.enqueue(
                 self._make_bitstream(candidate), now,
                 reason=f"departure of engine {engine_id}",
@@ -223,7 +256,7 @@ class Hypervisor:
                     if rec.engine_id not in self._remote}
         if programs:
             design = coalesce(programs, self.device, self.anti_congestion,
-                              self.clock_domains)
+                              self.clock_domains, compiler=self.compiler)
             bitstream, _, _ = self._compile(design)
             self._reprogram(bitstream, design)
         else:

@@ -11,11 +11,13 @@ flattened module *once* at elaboration time:
 * :mod:`scheduler` — combinational processes are levelled into
   dependency ranks (silicon-style logic cones) so one sweep settles
   most designs.
-* :mod:`simulator` — :class:`CompiledSimulator`, ABI-compatible with
-  the reference interpreter.
+* :mod:`simulator` — :class:`CompiledModuleCode`, the immutable
+  shareable codegen artifact (analysis + schedule + code object), and
+  :class:`CompiledSimulator`, one engine's state bound to such an
+  artifact; ABI-compatible with the reference interpreter.
 """
 
-from .slots import SlotStore
-from .simulator import CompiledSimulator
+from .slots import SlotLayout, SlotStore
+from .simulator import CompiledModuleCode, CompiledSimulator
 
-__all__ = ["SlotStore", "CompiledSimulator"]
+__all__ = ["SlotLayout", "SlotStore", "CompiledModuleCode", "CompiledSimulator"]

@@ -1,5 +1,19 @@
 """The compiled simulator: closures + slot store + ranked scheduling.
 
+Code generation is split from engine state so N engines of one
+workload share one codegen artifact:
+
+* :class:`CompiledModuleCode` — the immutable, shareable product of
+  compiling one flattened module: process analysis, the ranked
+  schedule and sensitivity templates, the slot layout, and the
+  ``compile()``d Python code object.  Built once per module digest
+  (the compiler service interns it in the artifact store) and reused
+  by every engine simulating that module.
+* :class:`CompiledSimulator` — one engine's mutable state: a fresh
+  :class:`SlotStore`, a fresh namespace the shared code object is
+  exec'd into (binding the engine's slots, memories and task host),
+  per-engine edge-detection triggers, and the event queues.
+
 :class:`CompiledSimulator` is ABI-identical to the reference
 interpreter (:class:`~repro.interp.simulator.InterpSimulator`) — same
 ``get``/``set``/``evaluate``/``update``/``step``/``tick``/``run``/
@@ -13,7 +27,7 @@ store, keeping behaviour bit-identical by construction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...verilog import ast_nodes as ast
 from ...verilog.rewrite import collect_identifiers, lvalue_targets, stmt_identifiers
@@ -27,7 +41,7 @@ from ..simulator import (
 )
 from .exprc import ExprCompiler, HELPERS, expr_is_pure
 from .scheduler import rank_order
-from .slots import SlotStore
+from .slots import SlotLayout, SlotStore
 from .stmtc import ProcessCompiler
 
 
@@ -61,28 +75,28 @@ class _ProcInfo:
         self.writes = writes or set()
 
 
-class CompiledSimulator(InterpSimulator):
-    """Simulates one flattened module through compiled closures."""
+class CompiledModuleCode:
+    """Immutable codegen artifact for one flattened module.
 
-    backend = "compiled"
+    Everything here is a pure function of the module text: analysis
+    records, the ranked combinational schedule, per-slot sensitivity
+    templates, the generated source and its compiled code object, and
+    the slot layout.  Engines share one instance (keyed by module
+    digest in the artifact store) and bind their own mutable state to
+    it at construction — nothing in this class is written after
+    ``__init__``.
+    """
 
-    def __init__(self, module: ast.Module, host: Optional[TaskHost] = None,
-                 env: Optional[WidthEnv] = None):
+    def __init__(self, module: ast.Module, env: Optional[WidthEnv] = None):
         self.module = module
-        self.host = host if host is not None else TaskHost()
         self.env = env if env is not None else WidthEnv(module)
-        self.store = SlotStore(self.env)
-        self.evaluator = Evaluator(self.env, self.store, self._sysfunc)
-        self.time = 0
-        self.stmts_executed = 0
-        self.settle_rounds = 0
-        self._nba: List[tuple] = []
-        self._write_buffer = ""
-        self._processes: List[_ProcInfo] = []  # analysis records
+        self.layout = SlotLayout(self.env)
+        self.processes: List[_ProcInfo] = []
         self._analyze()
-        self._build_schedule()
-        self._codegen()
-        self._initialize()
+        self.nprocs = len(self.processes)
+        self._plan_schedule()
+        self._generate()
+        self._plan_initialization()
 
     # -- analysis -------------------------------------------------------------
 
@@ -90,9 +104,10 @@ class CompiledSimulator(InterpSimulator):
         index = 0
         for item in self.module.items:
             if isinstance(item, ast.ContinuousAssign):
-                reads = collect_identifiers(item.rhs) | self._lhs_index_deps(item.lhs)
+                reads = (collect_identifiers(item.rhs)
+                         | InterpSimulator._lhs_index_deps(item.lhs))
                 writes = set(lvalue_targets(item.lhs))
-                self._processes.append(_ProcInfo(
+                self.processes.append(_ProcInfo(
                     index, "assign", assign=item, reads=reads, writes=writes))
             elif isinstance(item, ast.Always):
                 if item.sensitivity == ast.STAR:
@@ -104,18 +119,18 @@ class CompiledSimulator(InterpSimulator):
                     # races.  The win is per-execution (compiled
                     # closures), not per-schedule.
                     reads = stmt_identifiers(item.stmt)
-                    self._processes.append(_ProcInfo(
+                    self.processes.append(_ProcInfo(
                         index, "star", stmt=item.stmt, reads=reads))
                 else:
-                    self._processes.append(_ProcInfo(
+                    self.processes.append(_ProcInfo(
                         index, "edge", stmt=item.stmt, events=item.sensitivity))
             elif isinstance(item, ast.Initial):
-                self._processes.append(_ProcInfo(index, "initial", stmt=item.stmt))
+                self.processes.append(_ProcInfo(index, "initial", stmt=item.stmt))
             elif (isinstance(item, ast.Decl) and item.kind == "wire"
                     and item.init is not None):
                 implied = ast.ContinuousAssign(ast.Identifier(item.name), item.init)
                 reads = collect_identifiers(item.init)
-                self._processes.append(_ProcInfo(
+                self.processes.append(_ProcInfo(
                     index, "assign", assign=implied, reads=reads,
                     writes={item.name}))
             else:
@@ -124,80 +139,86 @@ class CompiledSimulator(InterpSimulator):
         # Rank-ordering assigns is only unobservable when their RHSes
         # are pure; an `assign x = $random` makes intra-class order
         # matter, so such modules run assigns through the FIFO scan too.
-        self._fifo_mode = any(
+        self.fifo_mode = any(
             not (expr_is_pure(p.assign.rhs) and expr_is_pure(p.assign.lhs))
-            for p in self._processes if p.kind == "assign"
+            for p in self.processes if p.kind == "assign"
         )
 
     def _slot_for(self, name: str) -> Optional[int]:
-        slot = self.store.slot_of.get(name)
+        slot = self.layout.slot_of.get(name)
         if slot is None:
-            slot = self.store.mem_slot_of.get(name)
+            slot = self.layout.mem_slot_of.get(name)
         return slot
 
-    def _build_schedule(self) -> None:
-        store = self.store
-        nslots = len(store.dirty_flags)
-        nprocs = len(self._processes)
-        self._is_assign = bytearray(nprocs)
-        for proc in self._processes:
+    def _plan_schedule(self) -> None:
+        nslots = self.layout.n_slots
+        is_assign = bytearray(self.nprocs)
+        for proc in self.processes:
             if proc.kind == "assign":
-                self._is_assign[proc.index] = 1
+                is_assign[proc.index] = 1
+        self.is_assign = bytes(is_assign)
         # Continuous assigns, levelled into ranks (unless fifo_mode).
-        comb = ([] if self._fifo_mode
-                else [p for p in self._processes if p.kind == "assign"])
+        comb = ([] if self.fifo_mode
+                else [p for p in self.processes if p.kind == "assign"])
         order = rank_order([p.reads for p in comb], [p.writes for p in comb])
-        self._comb_order = [comb[i].index for i in order]
-        self._comb_pending = bytearray(nprocs)
-        self._comb_count = 0
-        # Sensitivity maps: slot -> ranked proc ids / trigger entries.
-        self._comb_watch: List[List[int]] = [[] for _ in range(nslots)]
-        self._trig_watch: List[List[_Trigger]] = [[] for _ in range(nslots)]
-        self._events: List[_Trigger] = []
-        ranked = {p.index for p in comb}
-        for proc in self._processes:
+        self.comb_order: Tuple[int, ...] = tuple(comb[i].index for i in order)
+        # Sensitivity templates: slot -> ranked proc ids, and slot ->
+        # ordered trigger specs — ("star", proc) for FIFO procs, or
+        # ("edge", k) referencing event k's per-engine trigger.  The
+        # per-slot order (process order, unranked/star before edges)
+        # matches the reference scheduler's activation order exactly.
+        comb_watch: List[List[int]] = [[] for _ in range(nslots)]
+        trig_specs: List[List[Tuple[str, int]]] = [[] for _ in range(nslots)]
+        edge_specs: List[Tuple[int, Optional[str]]] = []
+        ranked = set(self.comb_order)
+        for proc in self.processes:
             if proc.kind in ("assign", "star"):
                 for name in proc.reads:
                     slot = self._slot_for(name)
                     if slot is None:
                         continue
                     if proc.index in ranked:
-                        self._comb_watch[slot].append(proc.index)
+                        comb_watch[slot].append(proc.index)
                     else:
-                        self._trig_watch[slot].append(_Trigger(proc.index))
+                        trig_specs[slot].append(("star", proc.index))
             elif proc.kind == "edge":
                 for event in proc.events:
-                    trigger = _Trigger(proc.index, event.edge)
-                    self._events.append(trigger)
+                    k = len(edge_specs)
+                    edge_specs.append((proc.index, event.edge))
                     for name in collect_identifiers(event.expr):
                         slot = self._slot_for(name)
                         if slot is not None:
-                            self._trig_watch[slot].append(trigger)
-        self._queued = bytearray(nprocs)
-        self._proc_queue: List[int] = []
-        self._watched = {
+                            trig_specs[slot].append(("edge", k))
+        self.comb_watch: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(procs) for procs in comb_watch
+        )
+        self.trig_specs: Tuple[Tuple[Tuple[str, int], ...], ...] = tuple(
+            tuple(specs) for specs in trig_specs
+        )
+        self.edge_specs: Tuple[Tuple[int, Optional[str]], ...] = tuple(edge_specs)
+        self.watched = frozenset(
             s for s in range(nslots)
-            if self._comb_watch[s] or self._trig_watch[s]
-        }
+            if self.comb_watch[s] or self.trig_specs[s]
+        )
 
     # -- code generation -------------------------------------------------------
 
-    def _codegen(self) -> None:
-        store = self.store
-        ec = ExprCompiler(self.env, store.slot_of, store.mem_slot_of)
-        pc = ProcessCompiler(ec, self._watched)
+    def _generate(self) -> None:
+        layout = self.layout
+        ec = ExprCompiler(self.env, layout.slot_of, layout.mem_slot_of)
+        pc = ProcessCompiler(ec, self.watched)
         lines: List[str] = []
-        for proc in self._processes:
+        for proc in self.processes:
             name = f"p{proc.index}"
             if proc.kind == "assign":
                 lines.extend(pc.compile_assign(name, proc.assign))
             else:
                 lines.extend(pc.compile_procedural(name, proc.stmt))
         # Compile event-expression value closures (order matches
-        # self._events, which _build_schedule filled in process order).
+        # self.edge_specs, which _plan_schedule filled in process order).
         event_sources: List[str] = []
         k = 0
-        for proc in self._processes:
+        for proc in self.processes:
             if proc.kind != "edge":
                 continue
             for event in proc.events:
@@ -206,7 +227,80 @@ class CompiledSimulator(InterpSimulator):
                 event_sources.append(f"    return {src}")
                 event_sources.append("")
                 k += 1
-        source = "\n".join(pc.writer_defs + lines + event_sources)
+        self.source = "\n".join(pc.writer_defs + lines + event_sources)
+        self.code = compile(self.source, "<repro-compiled>", "exec")
+        self.consts: Tuple[object, ...] = tuple(ec.consts)
+
+    # -- initialization plan -----------------------------------------------------
+
+    def _plan_initialization(self) -> None:
+        init_decls: List[Tuple[str, ast.Expr, int]] = []
+        for item in self.module.items:
+            if (isinstance(item, ast.Decl) and item.init is not None
+                    and item.kind in ("reg", "integer")):
+                sig = self.env.signal(item.name)
+                if sig.is_memory:
+                    continue
+                init_decls.append((item.name, item.init, sig.width))
+        self.init_decls: Tuple[Tuple[str, ast.Expr, int], ...] = tuple(init_decls)
+        prime_comb: List[int] = []
+        prime_queue: List[int] = []
+        for proc in self.processes:
+            if proc.kind == "assign" and not self.fifo_mode:
+                prime_comb.append(proc.index)
+            elif proc.kind == "initial" or (proc.kind == "assign"
+                                            and self.fifo_mode):
+                prime_queue.append(proc.index)
+        self.prime_comb: Tuple[int, ...] = tuple(prime_comb)
+        self.prime_queue: Tuple[int, ...] = tuple(prime_queue)
+
+
+class CompiledSimulator(InterpSimulator):
+    """Simulates one flattened module through compiled closures.
+
+    Pass *code* (a :class:`CompiledModuleCode`, usually from the
+    compiler service's artifact store) to skip analysis and code
+    generation entirely — the warm-engine path; without it, the code
+    artifact is built inline, the cold path.
+    """
+
+    backend = "compiled"
+
+    def __init__(self, module: ast.Module, host: Optional[TaskHost] = None,
+                 env: Optional[WidthEnv] = None,
+                 code: Optional[CompiledModuleCode] = None):
+        if code is None:
+            code = CompiledModuleCode(module, env=env)
+        self.code = code
+        self.module = code.module
+        self.host = host if host is not None else TaskHost()
+        self.env = code.env
+        self.store = SlotStore(self.env, layout=code.layout)
+        self.evaluator = Evaluator(self.env, self.store, self._sysfunc)
+        self.time = 0
+        self.stmts_executed = 0
+        self.settle_rounds = 0
+        self._nba: List[tuple] = []
+        self._write_buffer = ""
+        self._processes = code.processes  # shared, read-only
+        self._fifo_mode = code.fifo_mode
+        self._is_assign = code.is_assign
+        self._comb_order = code.comb_order
+        self._comb_watch = code.comb_watch
+        self._comb_pending = bytearray(code.nprocs)
+        self._comb_count = 0
+        self._queued = bytearray(code.nprocs)
+        self._proc_queue: List[int] = []
+        self._watched = code.watched
+        self._instantiate()
+        self._initialize()
+
+    # -- engine instantiation ---------------------------------------------------
+
+    def _instantiate(self) -> None:
+        """Bind the shared code object to this engine's mutable state."""
+        code = self.code
+        store = self.store
         namespace: Dict[str, object] = {
             "S": self,
             "d": store.data,
@@ -219,36 +313,46 @@ class CompiledSimulator(InterpSimulator):
             "SimulationError": SimulationError,
         }
         namespace.update(HELPERS)
-        for mem_name, slot in store.mem_slot_of.items():
+        for mem_name, slot in code.layout.mem_slot_of.items():
             namespace[f"m{slot}"] = store.memories[mem_name]
-        for i, obj in enumerate(ec.consts):
+        for i, obj in enumerate(code.consts):
             namespace[f"c{i}"] = obj
-        exec(compile(source, "<repro-compiled>", "exec"), namespace)
-        self._source = source  # kept for debugging/inspection
-        self._fn = [namespace[f"p{proc.index}"] for proc in self._processes]
-        for k, trigger in enumerate(self._events):
-            trigger.fn = namespace[f"e{k}"]
+        exec(code.code, namespace)
+        self._source = code.source  # kept for debugging/inspection
+        self._fn = [namespace[f"p{i}"] for i in range(code.nprocs)]
+        # Per-engine edge-detection triggers over the shared templates.
+        self._events = [
+            _Trigger(proc, edge, namespace[f"e{k}"])
+            for k, (proc, edge) in enumerate(code.edge_specs)
+        ]
+        stars: Dict[int, _Trigger] = {}
+        trig_watch: List[List[_Trigger]] = []
+        for specs in code.trig_specs:
+            entries: List[_Trigger] = []
+            for kind, ref in specs:
+                if kind == "star":
+                    trigger = stars.get(ref)
+                    if trigger is None:
+                        trigger = stars[ref] = _Trigger(ref)
+                    entries.append(trigger)
+                else:
+                    entries.append(self._events[ref])
+            trig_watch.append(entries)
+        self._trig_watch = trig_watch
 
     # -- initialization ---------------------------------------------------------
 
     def _initialize(self) -> None:
-        for item in self.module.items:
-            if (isinstance(item, ast.Decl) and item.init is not None
-                    and item.kind in ("reg", "integer")):
-                sig = self.env.signal(item.name)
-                if sig.is_memory:
-                    continue
-                value = self.evaluator.eval(item.init, sig.width)
-                self.store.set(item.name, value, notify=False)
-        for proc in self._processes:
-            if proc.kind == "assign" and not self._fifo_mode:
-                if not self._comb_pending[proc.index]:
-                    self._comb_pending[proc.index] = 1
-                    self._comb_count += 1
-            elif proc.kind == "initial" or (proc.kind == "assign"
-                                            and self._fifo_mode):
-                self._queued[proc.index] = 1
-                self._proc_queue.append(proc.index)
+        for name, init, width in self.code.init_decls:
+            value = self.evaluator.eval(init, width)
+            self.store.set(name, value, notify=False)
+        for index in self.code.prime_comb:
+            if not self._comb_pending[index]:
+                self._comb_pending[index] = 1
+                self._comb_count += 1
+        for index in self.code.prime_queue:
+            self._queued[index] = 1
+            self._proc_queue.append(index)
         self.settle()
         for trigger in self._events:
             trigger.prev = self._trigger_value(trigger)

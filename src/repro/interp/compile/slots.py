@@ -26,18 +26,61 @@ from ...verilog.width import WidthEnv, mask
 from ..store import Store
 
 
+class SlotLayout:
+    """Immutable name→slot interning for one width environment.
+
+    Building the layout walks every declared signal; sharing it (via
+    :class:`~repro.interp.compile.CompiledModuleCode`) lets each
+    additional engine of the same program allocate its
+    :class:`SlotStore` by list multiplication instead of re-interning.
+    The maps are read-only by convention — every store built from one
+    layout aliases them.
+    """
+
+    __slots__ = ("slot_of", "mask_of", "mem_slot_of", "mem_specs",
+                 "n_scalars", "n_slots")
+
+    def __init__(self, env: WidthEnv):
+        #: scalar name -> index into ``SlotStore.data``
+        self.slot_of: Dict[str, int] = {}
+        self.mask_of: Dict[str, int] = {}
+        #: memory name -> dirty-tracking slot id (>= n_scalars)
+        self.mem_slot_of: Dict[str, int] = {}
+        #: memory name -> (base address, word mask, slot id, depth)
+        self.mem_specs: Dict[str, Tuple[int, int, int, int]] = {}
+        for sig in env.signals.values():
+            if sig.is_memory:
+                continue
+            self.slot_of[sig.name] = len(self.slot_of)
+            self.mask_of[sig.name] = (1 << sig.width) - 1
+        slot = len(self.slot_of)
+        self.n_scalars = slot
+        for sig in env.signals.values():
+            if not sig.is_memory:
+                continue
+            self.mem_slot_of[sig.name] = slot
+            self.mem_specs[sig.name] = (
+                sig.base, (1 << sig.width) - 1, slot, sig.depth or 0
+            )
+            slot += 1
+        self.n_slots = slot
+
+
 class SlotStore(Store):
     """Slot-backed store; drop-in for :class:`Store` by interface."""
 
-    def __init__(self, env: WidthEnv):
+    def __init__(self, env: WidthEnv, layout: Optional[SlotLayout] = None):
         self.env = env
-        self.data: List[int] = []
+        if layout is None:
+            layout = SlotLayout(env)
+        self.layout = layout
+        self.data: List[int] = [0] * layout.n_scalars
         self.memories: Dict[str, List[int]] = {}
-        #: scalar name -> index into ``data``
-        self.slot_of: Dict[str, int] = {}
-        #: memory name -> dirty-tracking slot id (>= len(data))
-        self.mem_slot_of: Dict[str, int] = {}
-        self._mask_of: Dict[str, int] = {}
+        #: scalar name -> index into ``data`` (aliases the layout map)
+        self.slot_of = layout.slot_of
+        #: memory name -> dirty-tracking slot id (aliases the layout map)
+        self.mem_slot_of = layout.mem_slot_of
+        self._mask_of = layout.mask_of
         #: memory name -> (list, base address, word mask, slot id)
         self._mem_info: Dict[str, Tuple[List[int], int, int, int]] = {}
         #: shadow scalars for set() on declared memory names (reference
@@ -45,23 +88,12 @@ class SlotStore(Store):
         self._misc: Dict[str, int] = {}
         self._watchers = []
         self._notify_one = None
-        for sig in env.signals.values():
-            if sig.is_memory:
-                continue
-            self.slot_of[sig.name] = len(self.data)
-            self._mask_of[sig.name] = (1 << sig.width) - 1
-            self.data.append(0)
-        slot = len(self.data)
-        for sig in env.signals.values():
-            if not sig.is_memory:
-                continue
-            memory = [0] * sig.depth
-            self.memories[sig.name] = memory
-            self.mem_slot_of[sig.name] = slot
-            self._mem_info[sig.name] = (memory, sig.base, (1 << sig.width) - 1, slot)
-            slot += 1
+        for name, (base, word_mask, slot, depth) in layout.mem_specs.items():
+            memory = [0] * depth
+            self.memories[name] = memory
+            self._mem_info[name] = (memory, base, word_mask, slot)
         #: dirty bitset over scalar+memory slots, drained by the scheduler
-        self.dirty_flags = bytearray(slot)
+        self.dirty_flags = bytearray(layout.n_slots)
         self.dirty_list: List[int] = []
 
     # -- dict-style views (debugger, tests) --------------------------------

@@ -517,8 +517,21 @@ class InterpSimulator:
 DEFAULT_BACKEND = "compiled"
 
 
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The backend name an optional *backend* argument resolves to.
+
+    ``REPRO_SIM_BACKEND`` is read per call (not at import), so setting
+    it mid-process — e.g. from a test's monkeypatch — takes effect for
+    every simulator constructed afterwards.  Callers use this to decide
+    whether building (or fetching) a shared codegen artifact is worth
+    it before invoking the :func:`Simulator` factory.
+    """
+    return backend or os.environ.get("REPRO_SIM_BACKEND") or DEFAULT_BACKEND
+
+
 def Simulator(module: ast.Module, host: Optional[TaskHost] = None,
-              env: Optional[WidthEnv] = None, backend: Optional[str] = None):
+              env: Optional[WidthEnv] = None, backend: Optional[str] = None,
+              code=None):
     """Construct a simulator for *module*.
 
     ``backend="compiled"`` (the default) returns the compile-to-closures
@@ -527,15 +540,16 @@ def Simulator(module: ast.Module, host: Optional[TaskHost] = None,
     expose the same ABI surface and bit-identical behaviour — the
     interpreter is kept as the differential-testing oracle.
 
-    ``REPRO_SIM_BACKEND`` is read per call (not at import), so setting
-    it mid-process — e.g. from a test's monkeypatch — takes effect for
-    every simulator constructed afterwards.
+    *code* is an optional shared
+    :class:`~repro.interp.compile.CompiledModuleCode` (from the compiler
+    service's artifact store) that lets a compiled engine skip analysis
+    and code generation; it is ignored by the interpreter backend.
     """
-    choice = backend or os.environ.get("REPRO_SIM_BACKEND") or DEFAULT_BACKEND
+    choice = resolve_backend(backend)
     if choice == "interp":
         return InterpSimulator(module, host, env)
     if choice == "compiled":
         from .compile.simulator import CompiledSimulator
 
-        return CompiledSimulator(module, host, env)
+        return CompiledSimulator(module, host, env, code=code)
     raise ValueError(f"unknown simulation backend {choice!r}")

@@ -85,15 +85,19 @@ class SwProfile:
 def profile_software(program: CompiledProgram, ticks: int = 32,
                      vfs: Optional[VirtualFS] = None,
                      clock: str = "clock",
-                     backend: Optional[str] = None) -> SwProfile:
+                     backend: Optional[str] = None,
+                     compiler=None) -> SwProfile:
     """Run *ticks* in the software simulator; model interpreted cost.
 
     *backend* picks the simulation strategy through the
     :func:`~repro.interp.simulator.Simulator` factory ("compiled" by
-    default; "interp" measures the reference tree-walker).
+    default; "interp" measures the reference tree-walker).  *compiler*
+    optionally shares a :class:`~repro.compiler.CompilerService` so the
+    profiling engine reuses existing codegen artifacts.
     """
     host = TaskHost(vfs if vfs is not None else VirtualFS())
-    engine = SoftwareEngine(program, host, backend=backend)
+    engine = SoftwareEngine(program, host, backend=backend,
+                            compiler=compiler)
     total_seconds = 0.0
     done = 0
     for _ in range(ticks):
@@ -107,14 +111,14 @@ def profile_software(program: CompiledProgram, ticks: int = 32,
 
 def profile_hardware(program: CompiledProgram, device: Device,
                      ticks: int = 32, vfs: Optional[VirtualFS] = None,
-                     clock: str = "clock") -> HwProfile:
+                     clock: str = "clock", compiler=None) -> HwProfile:
     """Place on a fresh board and measure *ticks* of hardware execution.
 
     The program is restored from a brief software warm-up first (as the
     JIT would), so declaration-time side effects ($fopen) are live.
     """
-    runtime = Runtime(program, vfs=vfs, clock=clock)
-    backend = DirectBoardBackend(device)
+    runtime = Runtime(program, vfs=vfs, clock=clock, compiler=compiler)
+    backend = DirectBoardBackend(device, compiler=compiler)
     runtime.tick(1)  # software warm-up (initial blocks, $fopen)
     runtime.attach(backend)
     runtime._hw_ready_at = runtime.sim_time  # caches primed (§6)

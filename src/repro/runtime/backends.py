@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..compiler.service import CompilerService
 from ..core.pipeline import CompiledProgram
-from ..fabric.bitstream import Bitstream, BitstreamCompiler, text_digest
+from ..fabric.bitstream import Bitstream, BitstreamCompiler
 from ..fabric.board import SimulatedBoard
 from ..fabric.cache import CompilationCache
 from ..fabric.device import Device
@@ -72,14 +73,26 @@ def synth_options_for(program: CompiledProgram,
 
 
 class DirectBoardBackend:
-    """Single-tenant backend: one device, one resident program."""
+    """Single-tenant backend: one device, one resident program.
+
+    The backend's bitstream cache, its board's slot codegen and its
+    compiler service all share one artifact store: pass *compiler* (or
+    a *cache* whose store should be shared) to join a wider store, e.g.
+    the store a hypervisor or harness already uses.
+    """
 
     def __init__(self, device: Device, cache: Optional[CompilationCache] = None,
                  anti_congestion: bool = False,
-                 sim_backend: Optional[str] = None):
+                 sim_backend: Optional[str] = None,
+                 compiler: Optional[CompilerService] = None):
         self.device = device
-        self.board = SimulatedBoard(device, sim_backend=sim_backend)
-        self.cache = cache if cache is not None else CompilationCache()
+        if compiler is None:
+            compiler = CompilerService(cache.store if cache is not None else None)
+        self.compiler = compiler
+        self.board = SimulatedBoard(device, sim_backend=sim_backend,
+                                    compiler=compiler)
+        self.cache = (cache if cache is not None
+                      else CompilationCache(store=compiler.store))
         self.anti_congestion = anti_congestion
         self._next_engine_id = 1
         self._programs: Dict[int, CompiledProgram] = {}
@@ -89,15 +102,17 @@ class DirectBoardBackend:
     def place(self, program: CompiledProgram) -> Placement:
         """Compile (or cache-hit) and program the board with *program*."""
         options = synth_options_for(program, self.anti_congestion)
-        options_key = repr(options)
-        text = program.hardware_text
-        digest = text_digest(text)
+        options_key = options.key
+        digest = program.hardware_digest
         cached = self.cache.lookup(self.device.name, options_key, digest)
         if cached is not None:
             bitstream, compile_seconds, hit = cached, 0.0, True
         else:
             compiler = BitstreamCompiler(self.device, options)
-            bitstream = compiler.compile(program.transform.module, text, target_hz=None)
+            bitstream = compiler.compile(program.transform.module,
+                                         program.hardware_text,
+                                         env=program.hardware_env,
+                                         target_hz=None)
             self.cache.insert(self.device.name, options_key, bitstream)
             compile_seconds, hit = bitstream.compile_seconds, False
         engine_id = self._next_engine_id

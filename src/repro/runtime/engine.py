@@ -19,8 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..compiler.service import CompilerService, default_service
 from ..core.pipeline import CompiledProgram
-from ..interp.simulator import Simulator
+from ..interp.simulator import Simulator, resolve_backend
 from ..interp.systasks import TaskHost
 from .abi import (
     AbiChannel, BatchReply, Cont, Evaluate, Get, Restore, RunTicks, Set,
@@ -78,18 +79,26 @@ class SoftwareEngine(Engine):
 
     *backend* selects the simulation strategy (``"compiled"`` closures
     by default, ``"interp"`` for the reference tree-walker) through the
-    :func:`~repro.interp.simulator.Simulator` factory.
+    :func:`~repro.interp.simulator.Simulator` factory.  *compiler*
+    supplies the shared codegen artifact: N engines of one program
+    built against one service compile its closures exactly once.
     """
 
     kind = "software"
 
     def __init__(self, program: CompiledProgram, host: TaskHost,
-                 backend: Optional[str] = None):
+                 backend: Optional[str] = None,
+                 compiler: Optional[CompilerService] = None):
         self.program = program
         self.host = host
         self.backend = backend
+        code = None
+        if resolve_backend(backend) == "compiled":
+            service = compiler if compiler is not None else default_service()
+            code = service.codegen(program.flat, env=program.env,
+                                   digest=program.digest)
         self.sim = Simulator(program.flat, host, env=program.env,
-                             backend=backend)
+                             backend=backend, code=code)
 
     def get(self, name: str) -> int:
         return self.sim.get(name)

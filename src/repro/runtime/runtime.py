@@ -19,7 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..core.pipeline import CompiledProgram, compile_program
+from ..compiler.service import CompilerService, default_service
+from ..core.pipeline import CompiledProgram
 from ..interp.systasks import TaskHost
 from ..interp.vfs import VirtualFS
 from .backends import DirectBoardBackend, Placement
@@ -58,17 +59,20 @@ class Runtime:
                  vfs: Optional[VirtualFS] = None, top: Optional[str] = None,
                  clock: str = "clock", echo: bool = False,
                  costs: Optional[TransitionCosts] = None,
-                 sim_backend: Optional[str] = None):
+                 sim_backend: Optional[str] = None,
+                 compiler: Optional[CompilerService] = None):
+        self.compiler = compiler if compiler is not None else default_service()
         self.program: CompiledProgram = (
             source if isinstance(source, CompiledProgram)
-            else compile_program(source, top)
+            else self.compiler.compile_program(source, top)
         )
         self.name = name or self.program.name
         self.clock = clock
         self.sim_backend = sim_backend
         self.host = TaskHost(vfs if vfs is not None else VirtualFS(), echo=echo)
         self.engine: Engine = SoftwareEngine(self.program, self.host,
-                                             backend=sim_backend)
+                                             backend=sim_backend,
+                                             compiler=self.compiler)
         self.costs = costs or TransitionCosts()
         self.refinement = AdaptiveRefinement()
 
@@ -143,7 +147,8 @@ class Runtime:
         """Evacuate state from hardware back into a software engine."""
         state = self.engine.snapshot()
         engine = SoftwareEngine(self.program, self.host,
-                                backend=self.sim_backend)
+                                backend=self.sim_backend,
+                                compiler=self.compiler)
         engine.restore(state)
         transfer = self.program.state.total_bits / self.costs.state_bandwidth_bits_s
         self.sim_time += transfer

@@ -46,7 +46,14 @@ class TestLifecycle:
 
     def test_compile_latency_gates_transition(self):
         runtime = Runtime(COUNTER)
-        placement = runtime.attach(DirectBoardBackend(DE10))
+        # A cold compile is the premise: give the backend a private
+        # cache so a process-wide store (REPRO_COMPILER_CACHE=1)
+        # cannot have pre-warmed this design's bitstream.
+        from repro.fabric import CompilationCache
+
+        placement = runtime.attach(
+            DirectBoardBackend(DE10, cache=CompilationCache())
+        )
         assert placement.compile_seconds > 0
         runtime.tick(3)
         # Simulated time is far below the compile latency: still software.
