@@ -1,0 +1,28 @@
+"""Differential conformance fuzzing (ROADMAP: scenario diversity).
+
+The paper's core claim is *transparency*: a program behaves
+bit-identically whether it runs in the reference interpreter, the
+compiled simulation backend, on the (simulated) fabric behind the
+Cascade ABI, or across hypervisor suspend/resume/migration.  This
+package turns that claim into a machine-checked property:
+
+* :mod:`repro.fuzz.gen` — a seeded random-Verilog generator producing
+  well-typed synthesizable modules, biased by :class:`GrammarWeights`;
+* :mod:`repro.fuzz.oracle` — runs one program through every execution
+  path and compares output traces and final state bit-for-bit;
+* :mod:`repro.fuzz.shrink` — minimizes failing programs and writes the
+  reduced repro (plus its seed) to ``tests/corpus/``;
+* ``python -m repro.fuzz`` — the long-run campaign CLI.
+"""
+
+from .gen import GeneratedProgram, GrammarWeights, ModuleGenerator, generate
+from .oracle import (
+    DEFAULT_PATHS, Mismatch, Report, RunResult, check, state_names,
+)
+from .shrink import shrink_module, write_repro
+
+__all__ = [
+    "GeneratedProgram", "GrammarWeights", "ModuleGenerator", "generate",
+    "DEFAULT_PATHS", "Mismatch", "Report", "RunResult", "check",
+    "state_names", "shrink_module", "write_repro",
+]

@@ -1,0 +1,316 @@
+"""Failure minimization: shrink a diverging module to a small repro.
+
+Greedy delta-debugging over the AST: statement/expression deletion and
+simplification candidates are generated one at a time, each re-checked
+against a caller-supplied predicate (``True`` = still fails), and the
+first accepted candidate restarts the pass — so the result is a local
+minimum under the candidate set, reached within a bounded number of
+predicate evaluations.
+
+The predicate is typically :func:`oracle_predicate` (re-runs the full
+differential oracle); any candidate that makes the predicate *crash*
+is treated as not-failing and discarded, so reductions can freely
+break declarations without derailing the search.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..verilog import ast_nodes as ast
+from ..verilog.printer import print_module
+from ..verilog.rewrite import collect_identifiers, stmt_identifiers
+
+Predicate = Callable[[ast.Module], bool]
+
+_ZERO = ast.Number(0)
+
+
+# -- expression reductions -------------------------------------------------
+
+
+def _expr_variants(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield strictly simpler replacements for *expr* (shallow)."""
+    if isinstance(expr, ast.Binary):
+        yield expr.left
+        yield expr.right
+    elif isinstance(expr, ast.Unary):
+        yield expr.operand
+    elif isinstance(expr, ast.Ternary):
+        yield expr.if_true
+        yield expr.if_false
+        yield expr.cond
+    elif isinstance(expr, (ast.Concat, ast.Repeat)):
+        parts = expr.parts if isinstance(expr, ast.Concat) else (expr.value,)
+        for part in parts:
+            yield part
+    elif isinstance(expr, (ast.Index, ast.RangeSelect)):
+        yield expr.base
+    if not (isinstance(expr, ast.Number) and expr.value == 0):
+        yield _ZERO
+
+
+def _rewrite_one_expr(expr: ast.Expr) -> Iterator[ast.Expr]:
+    """Yield copies of *expr* with exactly one sub-expression reduced."""
+    for variant in _expr_variants(expr):
+        yield variant
+    if isinstance(expr, ast.Binary):
+        for v in _rewrite_one_expr(expr.left):
+            yield ast.Binary(expr.op, v, expr.right)
+        for v in _rewrite_one_expr(expr.right):
+            yield ast.Binary(expr.op, expr.left, v)
+    elif isinstance(expr, ast.Unary):
+        for v in _rewrite_one_expr(expr.operand):
+            yield ast.Unary(expr.op, v)
+    elif isinstance(expr, ast.Ternary):
+        for v in _rewrite_one_expr(expr.cond):
+            yield ast.Ternary(v, expr.if_true, expr.if_false)
+        for v in _rewrite_one_expr(expr.if_true):
+            yield ast.Ternary(expr.cond, v, expr.if_false)
+        for v in _rewrite_one_expr(expr.if_false):
+            yield ast.Ternary(expr.cond, expr.if_true, v)
+    elif isinstance(expr, ast.Concat):
+        for i, part in enumerate(expr.parts):
+            for v in _rewrite_one_expr(part):
+                yield ast.Concat(expr.parts[:i] + (v,) + expr.parts[i + 1:])
+    elif isinstance(expr, (ast.Index, ast.RangeSelect)):
+        index = expr.index if isinstance(expr, ast.Index) else expr.msb
+        for v in _rewrite_one_expr(index):
+            if isinstance(expr, ast.Index):
+                yield ast.Index(expr.base, v)
+            else:
+                yield ast.RangeSelect(expr.base, v, expr.lsb, expr.mode)
+
+
+# -- statement reductions --------------------------------------------------
+
+
+def _stmt_variants(stmt: ast.Stmt) -> Iterator[Optional[ast.Stmt]]:
+    """Yield simpler replacements for *stmt*, including deletion."""
+    yield None  # delete outright
+    if isinstance(stmt, (ast.Block, ast.ForkJoin)):
+        cls = type(stmt)
+        for i in range(len(stmt.stmts)):
+            yield cls(stmt.stmts[:i] + stmt.stmts[i + 1:], stmt.name)
+        for i, inner in enumerate(stmt.stmts):
+            for v in _stmt_variants(inner):
+                if v is None:
+                    continue
+                yield cls(stmt.stmts[:i] + (v,) + stmt.stmts[i + 1:],
+                          stmt.name)
+    elif isinstance(stmt, ast.If):
+        if stmt.then_stmt is not None:
+            yield stmt.then_stmt
+        if stmt.else_stmt is not None:
+            yield stmt.else_stmt
+            yield ast.If(stmt.cond, stmt.then_stmt, None)
+        for v in _rewrite_one_expr(stmt.cond):
+            yield ast.If(v, stmt.then_stmt, stmt.else_stmt)
+        if stmt.then_stmt is not None:
+            for v in _stmt_variants(stmt.then_stmt):
+                if v is not None:
+                    yield ast.If(stmt.cond, v, stmt.else_stmt)
+        if stmt.else_stmt is not None:
+            for v in _stmt_variants(stmt.else_stmt):
+                if v is not None:
+                    yield ast.If(stmt.cond, stmt.then_stmt, v)
+    elif isinstance(stmt, ast.Case):
+        for item in stmt.items:
+            if item.stmt is not None:
+                yield item.stmt
+        for i in range(len(stmt.items)):
+            if len(stmt.items) > 1:
+                yield ast.Case(stmt.expr,
+                               stmt.items[:i] + stmt.items[i + 1:],
+                               stmt.kind)
+        for i, item in enumerate(stmt.items):
+            if item.stmt is None:
+                continue
+            for v in _stmt_variants(item.stmt):
+                if v is not None:
+                    reduced = ast.CaseItem(item.labels, v)
+                    yield ast.Case(stmt.expr,
+                                   stmt.items[:i] + (reduced,)
+                                   + stmt.items[i + 1:],
+                                   stmt.kind)
+    elif isinstance(stmt, (ast.For, ast.While, ast.RepeatStmt)):
+        body = stmt.body
+        if body is not None:
+            yield body
+            for v in _stmt_variants(body):
+                if v is None:
+                    continue
+                if isinstance(stmt, ast.For):
+                    yield ast.For(stmt.init, stmt.cond, stmt.step, v)
+                elif isinstance(stmt, ast.While):
+                    yield ast.While(stmt.cond, v)
+                else:
+                    yield ast.RepeatStmt(stmt.count, v)
+    elif isinstance(stmt, ast.Assign):
+        for v in _rewrite_one_expr(stmt.rhs):
+            yield ast.Assign(stmt.lhs, v, stmt.blocking)
+    elif isinstance(stmt, ast.SysTask) and len(stmt.args) > 1:
+        for i in range(1, len(stmt.args)):
+            yield ast.SysTask(stmt.name,
+                              stmt.args[:i] + stmt.args[i + 1:])
+
+
+# -- module-level candidates -----------------------------------------------
+
+
+def _used_names(module: ast.Module) -> set:
+    used = set()
+    for item in module.items:
+        if isinstance(item, ast.ContinuousAssign):
+            used |= collect_identifiers(item.rhs)
+            used |= collect_identifiers(item.lhs)
+        elif isinstance(item, (ast.Always, ast.Initial)):
+            used |= stmt_identifiers(item.stmt)
+        elif isinstance(item, ast.Decl) and item.init is not None:
+            used |= collect_identifiers(item.init)
+    return used
+
+
+def _variants(module: ast.Module) -> Iterator[ast.Module]:
+    """Yield single-step reductions of *module*."""
+    used = _used_names(module)
+    items = module.items
+    for i, item in enumerate(items):
+        removable = not isinstance(item, ast.Decl) or (
+            item.name not in used and item.name not in module.ports
+        )
+        if removable:
+            yield ast.Module(module.name, module.ports,
+                             items[:i] + items[i + 1:])
+    for i, item in enumerate(items):
+        if isinstance(item, (ast.Always, ast.Initial)):
+            for v in _stmt_variants(item.stmt):
+                if v is None:
+                    continue
+                if isinstance(item, ast.Always):
+                    replacement: ast.Item = ast.Always(item.sensitivity, v)
+                else:
+                    replacement = ast.Initial(v)
+                yield ast.Module(module.name, module.ports,
+                                 items[:i] + (replacement,) + items[i + 1:])
+        elif isinstance(item, ast.ContinuousAssign):
+            for v in _rewrite_one_expr(item.rhs):
+                replacement = ast.ContinuousAssign(item.lhs, v)
+                yield ast.Module(module.name, module.ports,
+                                 items[:i] + (replacement,) + items[i + 1:])
+        elif isinstance(item, ast.Decl) and item.init is not None:
+            replacement = ast.Decl(item.kind, item.name, item.range,
+                                   item.unpacked, None, item.direction,
+                                   item.signed, item.attributes)
+            yield ast.Module(module.name, module.ports,
+                             items[:i] + (replacement,) + items[i + 1:])
+
+
+# -- the shrink loop -------------------------------------------------------
+
+
+def shrink_module(module: ast.Module, predicate: Predicate,
+                  budget: int = 400) -> Tuple[ast.Module, int]:
+    """Greedy minimization of *module* under *predicate*.
+
+    Returns ``(smallest module found, predicate evaluations used)``.
+    A predicate that raises counts as ``False`` (the candidate broke
+    the program in an uninteresting way).
+    """
+
+    def holds(candidate: ast.Module) -> bool:
+        try:
+            return bool(predicate(candidate))
+        except Exception:  # noqa: BLE001 — broken candidate, skip it
+            return False
+
+    tests = 0
+    improved = True
+    while improved and tests < budget:
+        improved = False
+        for candidate in _variants(module):
+            tests += 1
+            if holds(candidate):
+                module = candidate
+                improved = True
+                break
+            if tests >= budget:
+                break
+    return module, tests
+
+
+def oracle_predicate(ticks: int, paths, lifecycle_seed: int,
+                     original=None) -> Predicate:
+    """A predicate that re-runs the differential oracle.
+
+    Each evaluation uses a fresh private compiler service so shrink
+    candidates never alias one another through the artifact cache.
+    With *original* (the failing :class:`~repro.fuzz.oracle.Report`),
+    the predicate preserves the failure *signature*: a candidate only
+    counts if some originally-diverging path still diverges on an
+    originally-diverging field, and no path newly crashes — otherwise
+    shrinking drifts from a value mismatch to a degenerate
+    error-asymmetry "failure" on an invalid program.
+    """
+    from .oracle import check
+
+    signature = None
+    if original is not None:
+        signature = {(m.path, _field_class(m.field))
+                     for m in original.mismatches}
+    # Candidates that newly *crash* are degenerate (the reduction broke
+    # the program) — unless the original failure was itself an error
+    # asymmetry, in which case erroring candidates are the point.
+    errors_expected = signature is not None and any(
+        field == "error" for _, field in signature)
+
+    def predicate(candidate: ast.Module) -> bool:
+        report = check(candidate, ticks, paths,
+                       lifecycle_seed=lifecycle_seed, label="shrink")
+        if report.ok:
+            return False
+        if not errors_expected and any(
+                r.error is not None for r in report.results.values()):
+            return False
+        if signature is None:
+            return True
+        found = {(m.path, _field_class(m.field)) for m in report.mismatches}
+        return bool(found & signature)
+
+    return predicate
+
+
+def _field_class(name: str) -> str:
+    """Mismatch-field equivalence class: all state keys are one class."""
+    return "state" if name.startswith("state[") else name
+
+
+def write_repro(corpus_dir: str, label: str, module: ast.Module,
+                describe: str, seed: Optional[int] = None,
+                ticks: Optional[int] = None) -> str:
+    """Write a shrunk repro to *corpus_dir* as commented Verilog.
+
+    The header records the generator seed, the tick count, and the
+    divergence summary, so ``python -m repro.fuzz --seed <seed> --n 1``
+    (or replaying the file through the corpus regression test)
+    reproduces the failure.
+    """
+    os.makedirs(corpus_dir, exist_ok=True)
+    path = os.path.join(corpus_dir, f"{label}.v")
+    header: List[str] = ["// differential-fuzz repro"]
+    if seed is not None:
+        header.append(f"// seed: {seed}")
+    if ticks is not None:
+        header.append(f"// fuzz-ticks: {ticks}")
+    header += [f"// {line}" for line in describe.splitlines()]
+    if seed is not None:
+        ticks_arg = f" --ticks {ticks}" if ticks is not None else ""
+        header.append(
+            f"// reproduce: PYTHONPATH=src python -m repro.fuzz "
+            f"--seed {seed} --n 1{ticks_arg}")
+    with open(path, "w") as handle:
+        handle.write("\n".join(header) + "\n")
+        handle.write(print_module(module))
+        handle.write("\n")
+    return path

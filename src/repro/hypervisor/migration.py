@@ -40,7 +40,14 @@ def suspend(runtime: Runtime) -> Context:
 
 
 def resume(runtime: Runtime, context: Context) -> float:
-    """Resume a context on *runtime*; returns the modeled latency."""
+    """Resume a context on *runtime*; returns the modeled latency.
+
+    A destination built for this purpose should be constructed with
+    ``Runtime(..., quiet_boot=True)`` so its initial-block side effects
+    (boot ``$display`` output, file IO) are not replayed before the
+    context overwrites its state — the suspended program already
+    emitted them on the instance it is migrating from.
+    """
     reconfig = (
         runtime.backend.device.reconfig_seconds
         if runtime.backend is not None else 0.0

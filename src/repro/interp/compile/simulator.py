@@ -248,8 +248,10 @@ class CompiledModuleCode:
         for proc in self.processes:
             if proc.kind == "assign" and not self.fifo_mode:
                 prime_comb.append(proc.index)
-            elif proc.kind == "initial" or (proc.kind == "assign"
-                                            and self.fifo_mode):
+            elif proc.kind in ("initial", "star") or (
+                    proc.kind == "assign" and self.fifo_mode):
+                # @* blocks prime like the interpreter's: combinational
+                # state starts at its fixpoint, matching hardware.
                 prime_queue.append(proc.index)
         self.prime_comb: Tuple[int, ...] = tuple(prime_comb)
         self.prime_queue: Tuple[int, ...] = tuple(prime_queue)
@@ -497,11 +499,14 @@ class CompiledSimulator(InterpSimulator):
         pending = self._nba[:]
         del self._nba[:]  # keep list identity: compiled code binds .append
         assign = self.evaluator.assign
-        for target, value in pending:
+        for entry in pending:
+            target = entry[0]
             if callable(target):
-                target(value)          # compiled writer
+                # Compiled writer: (writer, value, *site-evaluated indices).
+                target(*entry[1:])
             else:
-                assign(target, value)  # AST lvalue from a fallback path
+                # AST lvalue from a fallback path (indices already frozen).
+                assign(target, entry[1])
         self._drain()
 
     # -- state capture -----------------------------------------------------------

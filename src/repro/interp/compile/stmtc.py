@@ -2,9 +2,10 @@
 
 Each continuous assign, always block and initial block becomes one
 generated function.  Blocking assignments write slots inline (with the
-dirty-bitset marking fused in); non-blocking assignments enqueue a
-pre-compiled *writer* closure so the LHS index is evaluated in the
-update region, exactly like the interpreter.  Statements the compiler
+dirty-bitset marking fused in); non-blocking assignments evaluate any
+dynamic LHS index *at the assignment site* (LRM §9.2.2 — only the
+update is deferred) and enqueue a pre-compiled *writer* closure that
+applies the store in the update region.  Statements the compiler
 cannot lower fall back to ``S._exec(<node>)`` — the reference
 interpreter on the live slot store — so unsupported constructs keep
 interpreter-identical behaviour instead of failing at elaboration.
@@ -31,6 +32,10 @@ class ProcessCompiler:
         self.writer_defs: List[str] = []
         self._tmp = 0
         self._writers = 0
+        #: id(index expr) → writer parameter name, active while a
+        #: writer body is being emitted: these indices were evaluated
+        #: at the assignment site and arrive as arguments.
+        self._frozen: dict = {}
 
     # -- small emission helpers -------------------------------------------
 
@@ -86,7 +91,7 @@ class ProcessCompiler:
             if sig.is_memory:
                 idx = self._gensym("a")
                 base = f" - {sig.base}" if sig.base else ""
-                self._emit(ind, f"{idx} = ({self.ec.compile(lhs.index)}){base}")
+                self._emit(ind, f"{idx} = ({self._index_src(lhs.index)}){base}")
                 self._emit(ind, f"if 0 <= {idx} < {sig.depth}:")
                 mem = self.ec.mem_ref(lhs.base.name)
                 word = self._gensym("w")
@@ -113,7 +118,7 @@ class ProcessCompiler:
                 body_ind = ind
             else:
                 off = self._gensym("o")
-                idx = self.ec.compile(lhs.index)
+                idx = self._index_src(lhs.index)
                 if sig.msb >= sig.lsb:
                     expr = f"({idx}) - {sig.lsb}" if sig.lsb else f"({idx})"
                 else:
@@ -151,7 +156,7 @@ class ProcessCompiler:
                 self._store_scalar(slot, new, True, sig_mask, ind)
                 return
             sel_width = const_eval(lhs.lsb, self.env.params)
-            start = self.ec.compile(lhs.msb)
+            start = self._index_src(lhs.msb)
             if lhs.mode == "+:":
                 low_index = f"({start})"
             else:
@@ -215,8 +220,14 @@ class ProcessCompiler:
             if stmt.blocking:
                 self._emit_store(stmt.lhs, value, value_width, ind)
             else:
-                writer = self._compile_writer(stmt.lhs, value_width)
-                self._emit(ind, f"nbap(({writer}, {value}))")
+                writer, dyn = self._compile_writer(stmt.lhs, value_width)
+                args = [value]
+                for index_expr in dyn:
+                    frozen = self._gensym("x")
+                    self._emit(ind,
+                               f"{frozen} = {self.ec.compile(index_expr)}")
+                    args.append(frozen)
+                self._emit(ind, f"nbap(({writer}, {', '.join(args)}))")
             return
         if isinstance(stmt, (ast.Block, ast.ForkJoin)):
             self._count(ind, 1, 0)
@@ -320,24 +331,56 @@ class ProcessCompiler:
 
     # -- writers (non-blocking assignment targets) ---------------------------
 
-    def _compile_writer(self, lhs: ast.Expr, value_width: int) -> str:
-        """Compile *lhs* into a named writer function ``nw<k>(value)``.
+    def _is_const(self, expr: ast.Expr) -> bool:
+        try:
+            const_eval(expr, self.env.params)
+            return True
+        except WidthError:
+            return False
 
-        The writer evaluates index expressions at call time — the update
-        region — matching ``Evaluator.assign`` called from ``_latch``.
+    def _dynamic_indices(self, lhs: ast.Expr) -> List[ast.Expr]:
+        """LHS index expressions that must be evaluated at the site."""
+        out: List[ast.Expr] = []
+        if isinstance(lhs, ast.Index):
+            if not self._is_const(lhs.index):
+                out.append(lhs.index)
+        elif isinstance(lhs, ast.RangeSelect):
+            if lhs.mode != ":" and not self._is_const(lhs.msb):
+                out.append(lhs.msb)
+        elif isinstance(lhs, ast.Concat):
+            for part in lhs.parts:
+                out.extend(self._dynamic_indices(part))
+        return out
+
+    def _index_src(self, expr: ast.Expr) -> str:
+        """Source for an LHS index: the frozen argument inside a writer
+        body, a fresh compilation elsewhere."""
+        return self._frozen.get(id(expr)) or self.ec.compile(expr)
+
+    def _compile_writer(self, lhs: ast.Expr,
+                        value_width: int) -> "tuple[str, List[ast.Expr]]":
+        """Compile *lhs* into a writer ``nw<k>(value, *indices)``.
+
+        Dynamic index expressions are evaluated at the assignment site
+        (LRM §9.2.2) and passed in as arguments; the writer only
+        applies the deferred store in the update region.
         """
         name = f"nw{self._writers}"
         self._writers += 1
+        dyn = self._dynamic_indices(lhs)
+        params = ["_v"] + [f"_x{k}" for k in range(len(dyn))]
         saved, self.lines = self.lines, []
+        self._frozen = {id(expr): f"_x{k}" for k, expr in enumerate(dyn)}
         try:
             self._emit_store(lhs, "_v", value_width, 1)
             body = self.lines or ["    pass"]
         finally:
             self.lines = saved
-        self.writer_defs.append(f"def {name}(_v):")
+            self._frozen = {}
+        self.writer_defs.append(f"def {name}({', '.join(params)}):")
         self.writer_defs.extend(body)
         self.writer_defs.append("")
-        return name
+        return name, dyn
 
     # -- whole processes -----------------------------------------------------
 

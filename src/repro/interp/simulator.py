@@ -170,9 +170,14 @@ class InterpSimulator:
                     continue
                 value = self.evaluator.eval(item.init, sig.width)
                 self.store.set(item.name, value, notify=False)
-        # Initial blocks and continuous assigns run on the first settle.
+        # Initial blocks, continuous assigns and @* blocks run on the
+        # first settle: combinational state must start at its fixpoint,
+        # as synthesized hardware would, or a later bulk restore (whose
+        # notifications re-run @* blocks on the receiving engine) could
+        # fabricate state a software engine never computed.
         for proc in self._processes:
-            if proc.kind in ("initial", "assign"):
+            if (proc.kind in ("initial", "assign")
+                    or (proc.kind == "always" and not proc.events)):
                 self._enqueue(proc)
         self.settle()
         # Prime event previous-values from the settled state.
@@ -258,6 +263,38 @@ class InterpSimulator:
                 self._exec(proc.stmt)
             self._drain_dirty()
 
+    def _freeze_lval(self, lhs: ast.Expr) -> ast.Expr:
+        """Resolve an NBA target's index expressions to constants.
+
+        LRM §9.2.2: a non-blocking assignment evaluates its right-hand
+        side *and its lvalue indices* when the statement executes; only
+        the update is deferred.  Deferring index evaluation to the
+        update region would read post-update values of index operands
+        (found by differential fuzzing against the hardware transform,
+        which captures addresses into ``__wa`` registers at execution
+        time).
+        """
+        if isinstance(lhs, ast.Index):
+            if isinstance(lhs.index, ast.Number):
+                return lhs
+            return ast.Index(lhs.base, self._frozen_number(lhs.index))
+        if isinstance(lhs, ast.RangeSelect):
+            if lhs.mode != ":" and not isinstance(lhs.msb, ast.Number):
+                return ast.RangeSelect(lhs.base,
+                                       self._frozen_number(lhs.msb),
+                                       lhs.lsb, lhs.mode)
+            return lhs
+        if isinstance(lhs, ast.Concat):
+            return ast.Concat(tuple(self._freeze_lval(p) for p in lhs.parts))
+        return lhs
+
+    def _frozen_number(self, expr: ast.Expr) -> ast.Number:
+        """Evaluate *expr* into a literal at its own width — an unsized
+        Number would be re-masked to 32 bits when the deferred store
+        applies, truncating indices wider than 32 bits."""
+        return ast.Number(self.evaluator.eval(expr),
+                          self.env.width_of(expr))
+
     def _latch(self) -> None:
         """Apply queued non-blocking assignments (update region)."""
         pending, self._nba = self._nba, []
@@ -315,7 +352,7 @@ class InterpSimulator:
             if stmt.blocking:
                 self.evaluator.assign(stmt.lhs, value)
             else:
-                self._nba.append((stmt.lhs, value))
+                self._nba.append((self._freeze_lval(stmt.lhs), value))
             return
         if isinstance(stmt, ast.Block) or isinstance(stmt, ast.ForkJoin):
             # Sequential execution is a valid scheduling of fork/join (§3.2).

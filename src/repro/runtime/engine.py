@@ -88,7 +88,8 @@ class SoftwareEngine(Engine):
 
     def __init__(self, program: CompiledProgram, host: TaskHost,
                  backend: Optional[str] = None,
-                 compiler: Optional[CompilerService] = None):
+                 compiler: Optional[CompilerService] = None,
+                 quiet_init: bool = False):
         self.program = program
         self.host = host
         self.backend = backend
@@ -97,8 +98,17 @@ class SoftwareEngine(Engine):
             service = compiler if compiler is not None else default_service()
             code = service.codegen(program.flat, env=program.env,
                                    digest=program.digest)
-        self.sim = Simulator(program.flat, host, env=program.env,
+        # quiet_init: this engine exists only to be restored into (e.g.
+        # evacuation from hardware, §3.5) — boot it against a throwaway
+        # host so initial-block side effects ($display output, VFS
+        # traffic) are not replayed into the instance's real host, then
+        # attach the real host (all task dispatch reads sim.host at
+        # call time, on both simulation backends).
+        boot_host = TaskHost() if quiet_init else host
+        self.sim = Simulator(program.flat, boot_host, env=program.env,
                              backend=backend, code=code)
+        if quiet_init:
+            self.sim.host = host
 
     def get(self, name: str) -> int:
         return self.sim.get(name)

@@ -60,7 +60,8 @@ class Runtime:
                  clock: str = "clock", echo: bool = False,
                  costs: Optional[TransitionCosts] = None,
                  sim_backend: Optional[str] = None,
-                 compiler: Optional[CompilerService] = None):
+                 compiler: Optional[CompilerService] = None,
+                 quiet_boot: bool = False):
         self.compiler = compiler if compiler is not None else default_service()
         self.program: CompiledProgram = (
             source if isinstance(source, CompiledProgram)
@@ -70,9 +71,15 @@ class Runtime:
         self.clock = clock
         self.sim_backend = sim_backend
         self.host = TaskHost(vfs if vfs is not None else VirtualFS(), echo=echo)
+        # quiet_boot: this instance exists to receive a restored context
+        # (a migration destination, §3.5) — initial blocks still run to
+        # build a consistent boot state, but their side effects are not
+        # replayed into the host: the suspended program already emitted
+        # them on its original instance.
         self.engine: Engine = SoftwareEngine(self.program, self.host,
                                              backend=sim_backend,
-                                             compiler=self.compiler)
+                                             compiler=self.compiler,
+                                             quiet_init=quiet_boot)
         self.costs = costs or TransitionCosts()
         self.refinement = AdaptiveRefinement()
 
@@ -144,11 +151,19 @@ class Runtime:
         self.log("to_hardware")
 
     def transition_to_software(self) -> None:
-        """Evacuate state from hardware back into a software engine."""
+        """Evacuate state from hardware back into a software engine.
+
+        The replacement engine boots quietly: its initial blocks already
+        ran when this instance first started, so replaying their side
+        effects (boot ``$display`` output, file IO) here would violate
+        transparency — the restored state overwrites the boot state
+        anyway.
+        """
         state = self.engine.snapshot()
         engine = SoftwareEngine(self.program, self.host,
                                 backend=self.sim_backend,
-                                compiler=self.compiler)
+                                compiler=self.compiler,
+                                quiet_init=True)
         engine.restore(state)
         transfer = self.program.state.total_bits / self.costs.state_bandwidth_bits_s
         self.sim_time += transfer

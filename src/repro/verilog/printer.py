@@ -50,6 +50,23 @@ def print_expr(expr: ast.Expr) -> str:
     raise TypeError(f"cannot print expression node {type(expr).__name__}")
 
 
+def _dangling_else(stmt: ast.Stmt) -> bool:
+    """Would *stmt*, printed bare, capture a following ``else``?
+
+    True when its print form ends in an else-less ``if`` reachable
+    without passing a ``begin``/``end`` or ``endcase`` closer.
+    """
+    if isinstance(stmt, ast.If):
+        if stmt.else_stmt is None:
+            return True
+        return _dangling_else(stmt.else_stmt)
+    if isinstance(stmt, (ast.For, ast.While, ast.RepeatStmt)):
+        return _dangling_else(stmt.body or ast.NullStmt())
+    if isinstance(stmt, ast.DelayStmt):
+        return _dangling_else(stmt.stmt or ast.NullStmt())
+    return False
+
+
 def _attr_text(attributes) -> str:
     if not attributes:
         return ""
@@ -90,8 +107,14 @@ def print_stmt(stmt: ast.Stmt, indent: int = 0) -> List[str]:
         lines.append(f"{pad}join")
         return lines
     if isinstance(stmt, ast.If):
+        then_stmt = stmt.then_stmt or ast.NullStmt()
+        if stmt.else_stmt is not None and _dangling_else(then_stmt):
+            # An else-less if at the tail of the then-branch would
+            # capture this statement's else on reparse; a begin/end
+            # keeps the association (print∘parse must round-trip).
+            then_stmt = ast.Block((then_stmt,))
         lines = [f"{pad}if ({print_expr(stmt.cond)})"]
-        lines.extend(print_stmt(stmt.then_stmt or ast.NullStmt(), indent + 1))
+        lines.extend(print_stmt(then_stmt, indent + 1))
         if stmt.else_stmt is not None:
             lines.append(f"{pad}else")
             lines.extend(print_stmt(stmt.else_stmt, indent + 1))

@@ -84,6 +84,94 @@ class TestArtifactStore:
         assert store.stats("a").hits == 0
 
 
+class TestArtifactStoreEvictionOrder:
+    """LRU order and counters under interleaved hit/miss/evict traffic."""
+
+    def test_gets_refresh_recency_puts_evict_oldest(self):
+        store = ArtifactStore(max_entries=3)
+        store.put("k", "a", 1)
+        store.put("k", "b", 2)
+        store.put("k", "c", 3)
+        store.get("k", "a")        # order now b, c, a
+        store.put("k", "d", 4)     # evicts b
+        store.get("k", "c")        # order now a, d, c (a oldest)
+        store.put("k", "e", 5)     # evicts a
+        assert store.peek("k", "b") is None
+        assert store.peek("k", "a") is None
+        assert [key for key in ("c", "d", "e")
+                if store.peek("k", key) is not None] == ["c", "d", "e"]
+        assert store.stats("k").evictions == 2
+
+    def test_peek_does_not_refresh_recency(self):
+        store = ArtifactStore(max_entries=2)
+        store.put("k", "a", 1)
+        store.put("k", "b", 2)
+        store.peek("k", "a")       # silent: "a" stays oldest
+        store.put("k", "c", 3)     # evicts "a", not "b"
+        assert store.peek("k", "a") is None
+        assert store.peek("k", "b") == 2
+
+    def test_put_over_existing_key_does_not_evict(self):
+        store = ArtifactStore(max_entries=2)
+        store.put("k", "a", 1)
+        store.put("k", "b", 2)
+        store.put("k", "a", 10)    # replace, not insert
+        assert len(store) == 2
+        assert store.stats("k").evictions == 0
+        assert store.get("k", "a") == 10
+        assert store.get("k", "b") == 2
+
+    def test_interleaved_hit_miss_evict_counters(self):
+        store = ArtifactStore(max_entries=2)
+        sequence = [
+            ("get", "x", None),    # miss
+            ("put", "x", 1),
+            ("get", "x", 1),       # hit
+            ("put", "y", 2),
+            ("get", "y", 2),       # hit
+            ("put", "z", 3),       # evicts x (oldest)
+            ("get", "x", None),    # miss again after eviction
+            ("get", "z", 3),       # hit
+        ]
+        for op, key, expected in sequence:
+            if op == "put":
+                store.put("k", key, expected)
+            else:
+                assert store.get("k", key) == expected
+        stats = store.stats("k")
+        assert (stats.hits, stats.misses, stats.evictions) == (3, 2, 1)
+        # The all-kinds aggregate sees the same single-kind traffic.
+        total = store.stats()
+        assert (total.hits, total.misses, total.evictions) == (3, 2, 1)
+
+    def test_eviction_attributes_to_the_evicted_kind(self):
+        store = ArtifactStore(max_entries=2)
+        store.put("old", "a", 1)
+        store.put("new", "b", 2)
+        store.put("new", "c", 3)   # evicts ("old", "a")
+        assert store.stats("old").evictions == 1
+        assert store.stats("new").evictions == 0
+        assert store.count("old") == 0 and store.count("new") == 2
+
+    def test_get_or_build_rebuilds_after_eviction(self):
+        store = ArtifactStore(max_entries=1)
+        builds = []
+        build = lambda: builds.append(1) or len(builds)
+        assert store.get_or_build("k", "a", build) == 1
+        store.put("k", "b", 99)    # evicts "a"
+        assert store.get_or_build("k", "a", build) == 2
+        assert len(builds) == 2
+        stats = store.stats("k")
+        assert stats.misses == 2 and stats.evictions == 2
+
+    def test_seconds_saved_accumulates_per_hit(self):
+        store = ArtifactStore()
+        store.put("k", "a", 1, seconds=1.5)
+        store.get("k", "a")
+        store.get("k", "a")
+        assert store.stats("k").seconds_saved == 3.0
+
+
 class TestCompilationCacheView:
     def test_view_shares_store_with_service(self):
         store = ArtifactStore()

@@ -73,9 +73,10 @@ class TestSharedEnginesDiverge:
         shared_a, shared_b, _ = _shared_pair(COUNTER)
         shared_a.set("step", 1)
         shared_a.tick("clock", 5)
-        # mem[k] holds k-1: the mem writer's index is evaluated in the
-        # update region, after n's own non-blocking assign latched.
-        assert shared_a.store.mem_get("mem", 3) == 2
+        # mem[k] holds k: the mem writer's index is evaluated when the
+        # statement executes (LRM §9.2.2), before n's own non-blocking
+        # assign latches — matching the hardware transform's __wa capture.
+        assert shared_a.store.mem_get("mem", 3) == 3
         assert shared_b.store.mem_get("mem", 3) == 0
 
     def test_dirty_tracking_is_per_engine(self):

@@ -1,0 +1,20 @@
+// differential-fuzz regression (shrunk from seed 359, then fixed)
+// fuzz-ticks: 6
+// An @* block whose dependencies never change from their boot values
+// (r2 stays 0, so c = x % 0 = all-ones).  Combinational state must
+// start at its settled fixpoint on every backend: the hardware slot
+// recomputes @* blocks when a bulk restore notifies its store, so a
+// software engine that never primed the block would hand over (or
+// compare) stale c = 0.
+module comb_fixpoint_at_boot(clock);
+  input wire clock;
+  reg [15:0] r1 = 3;
+  reg [15:0] r2 = 0;
+  reg [11:0] c;
+  reg [11:0] seen = 0;
+  always @(*)
+    c = r1 % r2;
+  always @(posedge clock)
+    if (c != 0)
+      seen <= seen + c;
+endmodule

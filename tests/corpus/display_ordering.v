@@ -1,0 +1,27 @@
+// hand-distilled conformance case
+// fuzz-ticks: 6
+// $display interleaving across blocks and control structures: output
+// order must follow declaration order of the triggering blocks and
+// program order within a block, on every path — including when a
+// case arm and a nested if both print in the same tick.
+module display_ordering(clock);
+  input wire clock;
+  reg [3:0] cyc = 0;
+  reg [7:0] acc = 1;
+  always @(posedge clock) begin
+    cyc <= cyc + 1;
+    $display("A %0d", cyc);
+    case (cyc[1:0])
+      2'd0: $display("A.case0 acc=%h", acc);
+      2'd1: begin
+        acc <= acc + 8'd3;
+        $display("A.case1");
+      end
+      default: if (acc[0]) $display("A.odd %b", acc);
+    endcase
+  end
+  always @(posedge clock) begin
+    if (cyc != 0) $display("B %0d", cyc);
+    acc <= acc ^ {cyc, 4'd5};
+  end
+endmodule

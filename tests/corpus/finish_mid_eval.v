@@ -1,0 +1,28 @@
+// hand-distilled conformance case
+// fuzz-ticks: 8
+// $finish mid-evaluation: statements after the $finish in the same
+// block, sibling blocks later in declaration order, and pending
+// non-blocking assignments must all be abandoned identically on every
+// path (the interpreter aborts the tick, the hardware engine stops
+// granting __cont).
+module finish_mid_eval(clock);
+  input wire clock;
+  reg [7:0] cyc = 0;
+  reg [7:0] before_f = 0;
+  reg [7:0] after_f = 0;
+  reg [7:0] sibling = 0;
+  always @(posedge clock) begin
+    cyc <= cyc + 1;
+    before_f <= before_f + 1;
+    if (cyc == 3) begin
+      $display("finishing at %0d", cyc);
+      $finish;
+      $display("never printed");
+    end
+    after_f <= after_f + 1;
+  end
+  always @(posedge clock) begin
+    sibling <= sibling + 1;
+    $display("tick %0d sibling %0d", cyc, sibling);
+  end
+endmodule

@@ -1,0 +1,18 @@
+// differential-fuzz regression (shrunk from seed 82, then fixed)
+// fuzz-ticks: 8
+// A memory NBA whose address reads a register that is itself NBA'd in
+// the same tick.  LRM §9.2.2: the lvalue index is evaluated when the
+// statement executes, not in the update region — the software
+// simulators used to defer it and latch through the *post-update*
+// address, diverging from the transform's __wa capture.
+module nba_index_capture(clock);
+  input wire clock;
+  reg [1:0] ptr = 0;
+  reg [15:0] val = 16'h1111;
+  reg [15:0] mem [0:3];
+  always @(posedge clock) begin
+    ptr <= ptr + 1;
+    val <= val + 16'h1111;
+    mem[ptr] <= val;
+  end
+endmodule

@@ -1,0 +1,22 @@
+// differential-fuzz repro (distilled from seed 24)
+// fuzz-ticks: 4
+// KNOWN DIVERGENCE — board path only.
+// The §3.4 transform materializes each non-blocking assignment site as
+// one __wa/__wd/__we shadow-register triple.  A loop body that executes
+// the same memory-NBA site several times per tick with different
+// addresses overwrites the shadow address, so the update state latches
+// only the last write — the software engines queue and apply all of
+// them.  Fixing this needs per-iteration site expansion (loop
+// unrolling) in machinify; until then the generator does not emit
+// memory NBAs inside loops, and this repro documents the gap.
+module loop_nba_memory(clock);
+  input wire clock;
+  reg [7:0] cyc = 0;
+  reg [7:0] mem [0:3];
+  integer i;
+  always @(posedge clock) begin
+    cyc <= cyc + 1;
+    for (i = 0; i < 3; i = i + 1)
+      mem[i] <= cyc + i;
+  end
+endmodule

@@ -201,6 +201,126 @@ def test_negative_constant_shift_matches_oracle():
     assert snaps["interp"]["y"] == 0
 
 
+def test_display_ordering_across_blocks_and_write_buffer():
+    """$display interleaving with $write buffering must match the
+    oracle line for line (seeded from corpus find display_ordering.v:
+    two blocks printing in one tick plus case-arm prints)."""
+    src = """
+        module m(input wire clock);
+          reg [3:0] cyc = 0;
+          always @(posedge clock) begin
+            cyc <= cyc + 1;
+            $write("A%0d:", cyc);
+            if (cyc[0]) $display("odd"); else $display("even");
+            case (cyc[1:0])
+              2'd2: $display("two");
+              default: ;
+            endcase
+          end
+          always @(posedge clock) $display("B%0d", cyc);
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    logs = {}
+    for backend in ("interp", "compiled"):
+        host = TaskHost()
+        Simulator(flat, host, backend=backend).tick(cycles=4)
+        logs[backend] = list(host.display_log)
+    assert logs["compiled"] == logs["interp"]
+    assert logs["interp"][:4] == ["A0:even", "B0", "A1:odd", "B1"]
+
+
+def test_finish_mid_eval_abandons_rest_of_tick():
+    """$finish aborts the remaining evaluation identically: trailing
+    statements, later sibling blocks and pending NBAs are abandoned
+    (seeded from corpus find finish_mid_eval.v)."""
+    src = """
+        module m(input wire clock);
+          reg [7:0] cyc = 0;
+          reg [7:0] after_f = 0;
+          reg [7:0] sibling = 0;
+          always @(posedge clock) begin
+            cyc <= cyc + 1;
+            if (cyc == 2) begin
+              $display("bye %0d", cyc);
+              $finish(3);
+              $display("never");
+            end
+            after_f <= after_f + 1;
+          end
+          always @(posedge clock) sibling <= sibling + 1;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    results = {}
+    for backend in ("interp", "compiled"):
+        host = TaskHost()
+        sim = Simulator(flat, host, backend=backend)
+        sim.tick(cycles=8)
+        results[backend] = {
+            "snapshot": sim.store.snapshot(),
+            "display": list(host.display_log),
+            "finish_code": host.finish_code,
+            "time": sim.time,
+        }
+    assert results["compiled"] == results["interp"]
+    ref = results["interp"]
+    assert ref["display"] == ["bye 2"]
+    assert ref["finish_code"] == 3
+    # The finishing tick's trailing statements never ran: the sibling
+    # block and the post-$finish NBA were abandoned, and the pending
+    # cyc NBA was never latched.
+    assert ref["snapshot"]["cyc"] == 2
+    assert ref["snapshot"]["after_f"] == 2
+    assert ref["snapshot"]["sibling"] == 2
+
+
+def test_nba_memory_index_captured_at_execution():
+    """LRM §9.2.2: an NBA lvalue index is evaluated when the statement
+    executes, even when the index operand is NBA'd in the same tick
+    (regression for corpus find nba_index_capture.v)."""
+    src = """
+        module m(input wire clock);
+          reg [1:0] ptr = 0;
+          reg [7:0] mem [0:3];
+          always @(posedge clock) begin
+            ptr <= ptr + 1;
+            mem[ptr] <= {6'd0, ptr} + 8'd10;
+          end
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    snaps = {}
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        sim.tick(cycles=3)
+        snaps[backend] = sim.store.snapshot()
+    assert snaps["compiled"] == snaps["interp"]
+    # Tick k writes mem[k] = k + 10 through the *pre-update* pointer.
+    assert snaps["interp"]["mem"] == [10, 11, 12, 0]
+
+
+def test_nba_index_wider_than_32_bits_not_truncated():
+    """A frozen NBA index must keep its full width: a 48-bit address
+    with high bits set is out of range and the write is dropped — not
+    masked to 32 bits and aliased onto a valid element."""
+    src = """
+        module m(input wire clock);
+          reg [47:0] big = 48'h100000003;
+          reg [7:0] mem [0:15];
+          always @(posedge clock) mem[big] <= 8'hAA;
+        endmodule
+    """
+    flat = flatten(parse(src), "m")
+    snaps = {}
+    for backend in ("interp", "compiled"):
+        sim = Simulator(flat, TaskHost(), backend=backend)
+        sim.tick(cycles=2)
+        snaps[backend] = sim.store.snapshot()
+    assert snaps["compiled"] == snaps["interp"]
+    assert snaps["interp"]["mem"] == [0] * 16
+
+
 def test_save_restore_roundtrip_across_backends():
     """A snapshot taken on one backend restores onto the other."""
     src = """

@@ -172,3 +172,46 @@ class TestTelemetry:
             times.append(runtime.sim_time)
         assert times == sorted(times)
         assert times[0] > 0
+
+
+class TestQuietBoot:
+    BOOTED = """
+        module m(input wire clock);
+          reg [7:0] n = 0;
+          initial $display("booting");
+          always @(posedge clock) n <= n + 1;
+        endmodule
+    """
+
+    def test_normal_boot_replays_initial_output(self):
+        runtime = Runtime(self.BOOTED)
+        assert runtime.host.display_log == ["booting"]
+
+    def test_quiet_boot_suppresses_initial_output_but_keeps_state(self):
+        runtime = Runtime(self.BOOTED, quiet_boot=True)
+        assert runtime.host.display_log == []
+        runtime.tick(3)
+        assert runtime.engine.get("n") == 3  # execution is unaffected
+
+    def test_resume_on_quiet_destination_does_not_duplicate_boot(self):
+        from repro.hypervisor.migration import resume, suspend
+
+        source = Runtime(self.BOOTED)
+        source.tick(5)
+        context = suspend(source)
+        destination = Runtime(self.BOOTED, quiet_boot=True)
+        resume(destination, context)
+        destination.tick(2)
+        assert destination.host.display_log == []
+        assert destination.engine.get("n") == 7
+
+    def test_evacuation_does_not_duplicate_boot(self):
+        runtime = Runtime(self.BOOTED)
+        runtime.attach(DirectBoardBackend(DE10))
+        runtime._hw_ready_at = runtime.sim_time
+        runtime.tick(4)
+        assert runtime.mode == "hardware"
+        runtime.transition_to_software()
+        runtime.tick(2)
+        assert runtime.host.display_log == ["booting"]
+        assert runtime.engine.get("n") == 6
