@@ -35,6 +35,7 @@ from .artifacts import ArtifactStore, resolve_store, text_digest
 KIND_PARSE = "parse"
 KIND_SOURCE = "source"      # raw-text alias → compiled program
 KIND_PROGRAM = "program"
+KIND_OPT = "opt"            # mid-end pipeline output (OptResult)
 KIND_CODEGEN = "codegen"
 KIND_SYNTH = "synth"
 KIND_BITSTREAM = "bitstream"
@@ -89,25 +90,63 @@ class CompilerService:
             self.store.put(KIND_SOURCE, alias_key, program)
         return program
 
+    # -- mid-end optimization ----------------------------------------------
+
+    def optimize(self, module: ast.Module, env=None,
+                 digest: Optional[str] = None,
+                 opt_level: Optional[int] = None,
+                 keep: "frozenset[str]" = frozenset()):
+        """Cached mid-end pipeline output for (module text, level).
+
+        Keyed by ``(digest, pipeline fingerprint)`` — the fingerprint
+        names the pass schedule and codegen revision, so one store can
+        hold several optimization levels of one program side by side
+        (the fuzz oracle's O0-vs-O2 cross-check relies on this).
+        *keep* is a deterministic function of the module's provenance
+        (e.g. the transform's trap table), so it needs no key component.
+        """
+        from ..opt import optimize_module, pipeline_fingerprint, resolve_opt_level
+
+        level = resolve_opt_level(opt_level)
+        if digest is None:
+            digest = text_digest(print_module(module))
+        key = f"{digest}\x00{pipeline_fingerprint(level)}"
+        return self.store.get_or_build(
+            KIND_OPT, key,
+            lambda: optimize_module(module, env=env, level=level, keep=keep),
+        )
+
     # -- simulator code generation ----------------------------------------
 
     def codegen(self, module: ast.Module, env=None,
-                digest: Optional[str] = None):
+                digest: Optional[str] = None,
+                opt_level: Optional[int] = None,
+                keep: "frozenset[str]" = frozenset()):
         """Shareable compiled-simulator code for *module*.
 
         *digest* must content-address the module's deterministic text;
         callers holding a :class:`CompiledProgram` pass ``.digest``
         (flat module) or ``.hardware_digest`` (transformed module) so
-        nothing is re-printed.  The returned
+        nothing is re-printed.  The artifact key pairs the digest with
+        the mid-end pipeline fingerprint of the effective
+        ``opt_level``, so differently-optimized code objects of one
+        program coexist and are shared independently.  The returned
         :class:`~repro.interp.compile.CompiledModuleCode` is immutable
         and shared: each engine instantiates its own state against it.
         """
         from ..interp.compile import CompiledModuleCode
+        from ..opt import pipeline_fingerprint, resolve_opt_level
 
+        level = resolve_opt_level(opt_level)
         if digest is None:
             digest = text_digest(print_module(module))
+        key = f"{digest}\x00{pipeline_fingerprint(level)}"
         return self.store.get_or_build(
-            KIND_CODEGEN, digest, lambda: CompiledModuleCode(module, env=env)
+            KIND_CODEGEN, key,
+            lambda: CompiledModuleCode(
+                module, env=env,
+                opt=self.optimize(module, env=env, digest=digest,
+                                  opt_level=level, keep=keep)),
         )
 
     # -- synthesis ---------------------------------------------------------

@@ -72,15 +72,47 @@ class TaskSite:
     pos: ast.SourcePos = ast.SourcePos()
 
 
+#: Pending-update queue capacity for NBA sites inside loops.  A loop
+#: body executing one indexed site more than this many times in a
+#: single virtual tick saturates the queue (further writes drop) —
+#: matching the bounded shadow storage a synthesized update unit has.
+NBA_QUEUE_DEPTH = 64
+
+
 @dataclass
 class NbaSite:
-    """Shadow registers materializing one non-blocking assignment site."""
+    """Shadow state materializing one non-blocking assignment site.
+
+    Two shapes exist:
+
+    * plain sites — one ``__we``/``__wd`` (plus ``__wa`` for indexed
+      targets) shadow triple; correct when the site executes at most
+      once per virtual tick, and for scalar targets always (last
+      write wins on every path);
+    * **queued** sites — an indexed target inside a loop body may
+      execute several times per tick with different addresses, so the
+      site keeps a pending-update queue of (index, value) pairs
+      (``__wqa``/``__wqd`` shadow memories plus the ``__wn`` count)
+      that the update state drains in execution order.  This closes
+      the divergence documented by the ``loop_nba_memory`` corpus
+      repro, where a single shadow address latched only the last
+      iteration's write.
+    """
 
     id: int
     lhs: ast.Expr
     we: str
     wd: str
     wa: Optional[str] = None
+    #: queue names (addr memory, data memory, count) — queued sites only
+    wq_addr: Optional[str] = None
+    wq_data: Optional[str] = None
+    wn: Optional[str] = None
+    depth: int = 0
+
+    @property
+    def queued(self) -> bool:
+        return self.wn is not None
 
 
 @dataclass
@@ -102,12 +134,39 @@ class TransformResult:
     def has_traps(self) -> bool:
         return bool(self.tasks)
 
+    def external_names(self) -> "frozenset[str]":
+        """Names the *runtime* touches by name while servicing traps.
+
+        Trap argument expressions are evaluated over the ABI
+        (``ReadExpr``) and results written back (``WriteLval``) against
+        the live slot store — reads and writes the transformed module's
+        own text never shows.  The mid-end must treat these names as
+        externally observable roots or it would optimize them away.
+        """
+        from ..verilog.rewrite import collect_identifiers, lvalue_targets
+
+        names: set = set()
+        for site in self.tasks.values():
+            for arg in site.args:
+                if not isinstance(arg, ast.String):
+                    names |= collect_identifiers(arg)
+            if site.dest is not None:
+                names |= set(lvalue_targets(site.dest))
+                names |= collect_identifiers(site.dest)
+        for name, init in self.soft_inits:
+            names.add(name)
+            names |= collect_identifiers(init)
+        return frozenset(names)
+
     def state_overhead_bits(self) -> int:
         """FF bits added by the transformation's bookkeeping."""
         bits = 64  # __state + __task
         bits += len(self.guard_wires)  # latched guards
         for site in self.nba_sites:
-            bits += 1  # we flag (wd/wa counted via module decls)
+            if site.queued:
+                bits += 32  # pending count (queue memories are decls)
+            else:
+                bits += 1  # we flag (wd/wa counted via module decls)
         return bits
 
 
@@ -137,6 +196,11 @@ class _Machinifier:
         self._next_task_id = 1
         self._next_query = 0
         self._next_rep = 0
+        #: lexical loop nesting at the point being lowered: NBA sites
+        #: allocated inside a loop may execute several times per tick
+        #: and get pending-update queues instead of single shadows
+        self._loop_depth = 0
+        self._update_loop_var: Optional[str] = None
 
     # -- state graph helpers ----------------------------------------------
 
@@ -230,23 +294,25 @@ class _Machinifier:
     def _nba_shadow_stmts(self, stmt: ast.Assign) -> List[ast.Stmt]:
         """Allocate a shadow site for one NBA; returns the inline writes."""
         site_id = len(self.nba_sites)
-        we = f"__we_{site_id}"
-        wd = f"__wd_{site_id}"
         try:
             width = self.env.width_of(stmt.lhs)
         except WidthError:
             width = 32
-        self.new_decls.append(ast.Decl("reg", we))
-        self.new_decls.append(
-            ast.Decl("reg", wd, ast.Range(ast.Number(width - 1), ast.Number(0)))
-        )
-        wa: Optional[str] = None
         lhs = self._hoist(stmt.lhs) if self._expr_has_query(stmt.lhs) else stmt.lhs
         rhs = self._hoist(stmt.rhs)
         needs_addr = (
             isinstance(lhs, ast.Index)
             or (isinstance(lhs, ast.RangeSelect) and lhs.mode in ("+:", "-:"))
         )
+        if needs_addr and self._loop_depth > 0:
+            return self._nba_queue_stmts(site_id, lhs, rhs, width)
+        we = f"__we_{site_id}"
+        wd = f"__wd_{site_id}"
+        self.new_decls.append(ast.Decl("reg", we))
+        self.new_decls.append(
+            ast.Decl("reg", wd, ast.Range(ast.Number(width - 1), ast.Number(0)))
+        )
+        wa: Optional[str] = None
         out: List[ast.Stmt] = []
         if needs_addr:
             wa = f"__wa_{site_id}"
@@ -259,6 +325,45 @@ class _Machinifier:
         out.append(ast.Assign(ast.Identifier(we), ast.Number(1, 1), blocking=True))
         self.nba_sites.append(NbaSite(site_id, lhs, we, wd, wa))
         return out
+
+    def _nba_queue_stmts(self, site_id: int, lhs: ast.Expr, rhs: ast.Expr,
+                         width: int) -> List[ast.Stmt]:
+        """Pending-update queue push for a looped indexed NBA site.
+
+        The site evaluates (index, value) at execution time — LRM
+        §9.2.2 — and appends the pair; the update state replays the
+        whole queue in execution order, so every iteration of a loop
+        like ``for (i ...) mem[i] <= v;`` latches, not just the last.
+        """
+        wq_addr = f"__wqa_{site_id}"
+        wq_data = f"__wqd_{site_id}"
+        wn = f"__wn_{site_id}"
+        depth = NBA_QUEUE_DEPTH
+        dims = (ast.Range(ast.Number(0), ast.Number(depth - 1)),)
+        self.new_decls.append(
+            ast.Decl("reg", wq_addr,
+                     ast.Range(ast.Number(31), ast.Number(0)), dims))
+        self.new_decls.append(
+            ast.Decl("reg", wq_data,
+                     ast.Range(ast.Number(width - 1), ast.Number(0)), dims))
+        self.new_decls.append(
+            ast.Decl("reg", wn, ast.Range(ast.Number(31), ast.Number(0))))
+        addr_expr = lhs.index if isinstance(lhs, ast.Index) else lhs.msb
+        wn_id = ast.Identifier(wn)
+        push = ast.Block((
+            ast.Assign(ast.Index(ast.Identifier(wq_addr), wn_id),
+                       addr_expr, blocking=True),
+            ast.Assign(ast.Index(ast.Identifier(wq_data), wn_id),
+                       rhs, blocking=True),
+            ast.Assign(wn_id, ast.Binary("+", wn_id, ast.Number(1, 32)),
+                       blocking=True),
+        ))
+        guarded = ast.If(
+            ast.Binary("<", wn_id, ast.Number(depth, 32)), push, None)
+        self.nba_sites.append(NbaSite(
+            site_id, lhs, we="", wd="", wq_addr=wq_addr, wq_data=wq_data,
+            wn=wn, depth=depth))
+        return [guarded]
 
     def _lower_nba(self, stmt: ast.Assign) -> None:
         for shadow in self._nba_shadow_stmts(stmt):
@@ -292,20 +397,65 @@ class _Machinifier:
             )
             return ast.Case(stmt.expr, items, stmt.kind, stmt.pos)
         if isinstance(stmt, ast.For):
-            return ast.For(stmt.init, stmt.cond, stmt.step,
-                           self._shadow_nbas(stmt.body), stmt.pos)
+            self._loop_depth += 1
+            try:
+                body = self._shadow_nbas(stmt.body)
+            finally:
+                self._loop_depth -= 1
+            return ast.For(stmt.init, stmt.cond, stmt.step, body, stmt.pos)
         if isinstance(stmt, ast.While):
-            return ast.While(stmt.cond, self._shadow_nbas(stmt.body), stmt.pos)
+            self._loop_depth += 1
+            try:
+                body = self._shadow_nbas(stmt.body)
+            finally:
+                self._loop_depth -= 1
+            return ast.While(stmt.cond, body, stmt.pos)
         if isinstance(stmt, ast.RepeatStmt):
-            return ast.RepeatStmt(stmt.count, self._shadow_nbas(stmt.body), stmt.pos)
+            self._loop_depth += 1
+            try:
+                body = self._shadow_nbas(stmt.body)
+            finally:
+                self._loop_depth -= 1
+            return ast.RepeatStmt(stmt.count, body, stmt.pos)
         if isinstance(stmt, ast.DelayStmt):
             return ast.DelayStmt(stmt.delay, self._shadow_nbas(stmt.stmt), stmt.pos)
         return stmt
+
+    def _update_loop_index(self) -> str:
+        """The shared index register of queue-draining update loops."""
+        if self._update_loop_var is None:
+            self._update_loop_var = "__wu"
+            self.new_decls.append(
+                ast.Decl("reg", self._update_loop_var,
+                         ast.Range(ast.Number(31), ast.Number(0))))
+        return self._update_loop_var
 
     def _update_state_stmts(self) -> List[ast.Stmt]:
         """The latch logic of the dedicated update state."""
         stmts: List[ast.Stmt] = []
         for site in self.nba_sites:
+            if site.queued:
+                # Replay the site's pending-update queue in execution
+                # order, then reset the count for the next tick.
+                j = ast.Identifier(self._update_loop_index())
+                addr = ast.Index(ast.Identifier(site.wq_addr), j)
+                data = ast.Index(ast.Identifier(site.wq_data), j)
+                target = site.lhs
+                if isinstance(target, ast.Index):
+                    target = ast.Index(target.base, addr)
+                else:  # +:/-: range select
+                    target = ast.RangeSelect(target.base, addr,
+                                             target.lsb, target.mode)
+                wn = ast.Identifier(site.wn)
+                stmts.append(ast.For(
+                    ast.Assign(j, ast.Number(0, 32), blocking=True),
+                    ast.Binary("<", j, wn),
+                    ast.Assign(j, ast.Binary("+", j, ast.Number(1, 32)),
+                               blocking=True),
+                    ast.Assign(target, data, blocking=True),
+                ))
+                stmts.append(ast.Assign(wn, ast.Number(0, 32), blocking=True))
+                continue
             target = site.lhs
             if site.wa is not None:
                 if isinstance(target, ast.Index):
@@ -439,8 +589,12 @@ class _Machinifier:
         exit_state = self.new_state()
         cond_state.terminator = ("branch", cond, body_state.id, exit_state.id)
         self._current = body_state
-        self.lower(stmt.body)
-        self.lower(stmt.step)
+        self._loop_depth += 1
+        try:
+            self.lower(stmt.body)
+            self.lower(stmt.step)
+        finally:
+            self._loop_depth -= 1
         self._goto(head)
         self._current = exit_state
 
@@ -457,7 +611,11 @@ class _Machinifier:
         exit_state = self.new_state()
         cond_state.terminator = ("branch", cond, body_state.id, exit_state.id)
         self._current = body_state
-        self.lower(stmt.body)
+        self._loop_depth += 1
+        try:
+            self.lower(stmt.body)
+        finally:
+            self._loop_depth -= 1
         self._goto(head)
         self._current = exit_state
 
@@ -484,7 +642,11 @@ class _Machinifier:
             exit_state.id,
         )
         self._current = body_state
-        self.lower(stmt.body)
+        self._loop_depth += 1
+        try:
+            self.lower(stmt.body)
+        finally:
+            self._loop_depth -= 1
         self.emit(
             ast.Assign(
                 ast.Identifier(counter),

@@ -80,9 +80,13 @@ class SimulatedBoard:
     """A reconfigurable device executing transformed sub-programs."""
 
     def __init__(self, device: Device, sim_backend: Optional[str] = None,
-                 compiler=None):
+                 compiler=None, opt_level: Optional[int] = None):
         self.device = device
         self.sim_backend = sim_backend
+        #: mid-end optimization level for slot codegen (None = ambient
+        #: REPRO_OPT_LEVEL); tenants on one board share one level so
+        #: their artifacts co-intern under one pipeline fingerprint
+        self.opt_level = opt_level
         #: Optional :class:`~repro.compiler.CompilerService`: slots of
         #: programs with the same transformed text then share one
         #: codegen artifact — reprogramming epochs and same-workload
@@ -97,12 +101,28 @@ class SimulatedBoard:
     # -- (re)programming -------------------------------------------------------
 
     def _slot_code(self, program: CompiledProgram):
-        """Shared codegen for one slot's transformed module (or None)."""
-        if self.compiler is None or resolve_backend(self.sim_backend) != "compiled":
+        """Shared (or slot-local) codegen for one slot's transformed
+        module; ``None`` only for the interpreter backend.
+
+        Trap servicing reads argument expressions and writes results
+        over the ABI by *name* — accesses the transformed module's own
+        text never shows — so the task table's support set is pinned
+        as mid-end optimization roots.
+        """
+        if resolve_backend(self.sim_backend) != "compiled":
             return None
-        return self.compiler.codegen(program.transform.module,
-                                     env=program.hardware_env,
-                                     digest=program.hardware_digest)
+        keep = program.transform.external_names()
+        if self.compiler is not None:
+            return self.compiler.codegen(program.transform.module,
+                                         env=program.hardware_env,
+                                         digest=program.hardware_digest,
+                                         opt_level=self.opt_level,
+                                         keep=keep)
+        from ..interp.compile import CompiledModuleCode
+
+        return CompiledModuleCode(program.transform.module,
+                                  env=program.hardware_env,
+                                  opt_level=self.opt_level, keep=keep)
 
     def program(self, bitstream: Bitstream,
                 engines: Dict[int, CompiledProgram]) -> None:

@@ -37,6 +37,10 @@ def main(argv=None) -> int:
                         help="fixed tick count (default: per-seed random)")
     parser.add_argument("--paths", default=",".join(DEFAULT_PATHS),
                         help="comma-separated execution paths to compare")
+    parser.add_argument("--opt-levels", default=None,
+                        help="comma-separated mid-end levels to cross-check "
+                             "on the compiled path (e.g. 0,2); default: the "
+                             "ambient REPRO_OPT_LEVEL only")
     parser.add_argument("--corpus-dir", default="tests/corpus",
                         help="where shrunk repros are written")
     parser.add_argument("--shrink-budget", type=int, default=300,
@@ -53,6 +57,14 @@ def main(argv=None) -> int:
         print(f"unknown paths: {', '.join(sorted(unknown))}; "
               f"choose from {', '.join(DEFAULT_PATHS)}", file=sys.stderr)
         return 2
+    opt_levels = None
+    if args.opt_levels is not None:
+        try:
+            opt_levels = tuple(int(v) for v in args.opt_levels.split(",") if v != "")
+        except ValueError:
+            print(f"bad --opt-levels {args.opt_levels!r}: expected e.g. 0,2",
+                  file=sys.stderr)
+            return 2
 
     # One service for the whole campaign: every program is a fresh
     # digest, so this doubles as a soak test of the artifact store.
@@ -66,7 +78,8 @@ def main(argv=None) -> int:
         program = ModuleGenerator(seed, weights).generate()
         ticks = args.ticks if args.ticks is not None else program.ticks
         report = check(program.module, ticks, paths, service=service,
-                       lifecycle_seed=seed, label=f"seed {seed}")
+                       lifecycle_seed=seed, label=f"seed {seed}",
+                       opt_levels=opt_levels)
         if report.ok:
             if args.verbose:
                 print(f"seed {seed}: ok ({ticks} ticks)")
@@ -76,7 +89,8 @@ def main(argv=None) -> int:
         shrunk, tests = program.module, 0
         if args.shrink_budget > 0:
             predicate = oracle_predicate(ticks, paths, lifecycle_seed=seed,
-                                         original=report)
+                                         original=report,
+                                         opt_levels=opt_levels)
             shrunk, tests = shrink_module(program.module, predicate,
                                           budget=args.shrink_budget)
         path = write_repro(args.corpus_dir, f"fail_seed{seed}", shrunk,

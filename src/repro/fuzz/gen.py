@@ -261,13 +261,14 @@ class ModuleGenerator:
                                             (w.w_display, "display")]
         if ctx.temps:
             options.append((w.w_blocking, "blocking"))
-        if ctx.mem is not None and ctx.owns_mem and not ctx.in_loop:
-            # Known transform limitation (found by this fuzzer, kept as
-            # tests/corpus/xfail_loop_nba_memory.v): one NBA site owns
-            # one __wa/__wd shadow pair, so a loop body executing the
-            # site with several addresses in one tick latches only the
-            # last — scalar NBAs in loops are fine (last write wins on
-            # every path), memory NBAs in loops are not generated.
+        if ctx.mem is not None and ctx.owns_mem and ctx.mem_nba_open():
+            # Looped memory NBAs are legal since the transform gave
+            # indexed sites pending-update queues (see
+            # tests/corpus/loop_nba_memory.v, formerly an xfail).  One
+            # site per loop body: the per-site queues preserve each
+            # site's own write order, but two sites colliding on one
+            # memory inside a loop would still apply in site order
+            # rather than interleaved execution order.
             options.append((w.w_mem_write, "mem_write"))
         if depth > 0:
             options += [(w.w_if, "if"), (w.w_case, "case"), (w.w_for, "for")]
@@ -290,6 +291,8 @@ class ModuleGenerator:
             return self._display(pool, f"b{ctx.block_id}s{self._uid}", mem)
         if kind == "mem_write":
             assert mem is not None
+            if ctx.mem_nba_budget is not None:
+                ctx.mem_nba_budget[0] -= 1
             addr = ast.Binary("&", self._expr(pool, 1, 8),
                               ast.Number(mem.addr_mask))
             return ast.Assign(ast.Index(ast.Identifier(mem.name), addr),
@@ -341,6 +344,10 @@ class ModuleGenerator:
                   extra: Tuple[_Sig, ...]) -> "_SeqContext":
         clone = ctx.with_pool(ctx.read_pool + list(extra))
         clone.in_loop = True
+        # One memory-NBA site per loop body (shared across the body's
+        # statements): per-site pending queues keep each site's own
+        # order, not the interleave between two colliding sites.
+        clone.mem_nba_budget = [1]
         return clone
 
     def _seq_block_body(self, ctx: "_SeqContext", depth: int,
@@ -566,10 +573,17 @@ class _SeqContext:
     owns_mem: bool
     decls: List[ast.Item]
     in_loop: bool = False
+    #: shared [remaining] memory-NBA sites for the current loop body;
+    #: None outside loops (each site then executes at most once/tick)
+    mem_nba_budget: Optional[List[int]] = None
+
+    def mem_nba_open(self) -> bool:
+        return self.mem_nba_budget is None or self.mem_nba_budget[0] > 0
 
     def with_pool(self, pool: List[_Sig]) -> "_SeqContext":
         return _SeqContext(self.block_id, self.owned, self.temps, pool,
-                           self.mem, self.owns_mem, self.decls, self.in_loop)
+                           self.mem, self.owns_mem, self.decls, self.in_loop,
+                           self.mem_nba_budget)
 
 
 def generate(seed: int,

@@ -124,17 +124,19 @@ def _result_from_host(path: str, host: TaskHost, display: Sequence[str],
 
 
 def _run_sim(program: CompiledProgram, ticks: int, backend: str,
-             service: CompilerService) -> RunResult:
+             service: CompilerService,
+             opt_level: Optional[int] = None,
+             path_name: Optional[str] = None) -> RunResult:
     host = TaskHost()
     code = None
     if backend == "compiled":
         code = service.codegen(program.flat, env=program.env,
-                               digest=program.digest)
+                               digest=program.digest, opt_level=opt_level)
     sim = Simulator(program.flat, host, env=program.env,
                     backend=backend, code=code)
     sim.tick(cycles=ticks)
     names = state_names(program.flat)
-    return _result_from_host(backend, host, host.display_log,
+    return _result_from_host(path_name or backend, host, host.display_log,
                              sim.store.snapshot(names))
 
 
@@ -256,13 +258,18 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
           paths: Sequence[str] = DEFAULT_PATHS,
           service: Optional[CompilerService] = None,
           lifecycle_seed: int = 0,
-          label: str = "program") -> Report:
+          label: str = "program",
+          opt_levels: Optional[Sequence[int]] = None) -> Report:
     """Run *source* along *paths* and compare against the interpreter.
 
     *service* is the (shared) compiler service — a long fuzz campaign
     passes one so every program exercises the content-addressed
     artifact store with fresh digests.  *lifecycle_seed* drives the
-    random suspend/resume/migration schedule.
+    random suspend/resume/migration schedule.  *opt_levels* expands
+    the ``compiled`` path into one run per mid-end optimization level
+    (e.g. ``(0, 2)`` cross-checks the unoptimized backend against the
+    full pass pipeline, both against the interpreter); the board and
+    lifecycle paths keep the ambient default level.
     """
     unknown = set(paths) - set(DEFAULT_PATHS)
     if unknown:
@@ -275,22 +282,34 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
     program = (source if isinstance(source, CompiledProgram)
                else service.compile_program(source))
     results: Dict[str, RunResult] = {}
-    runners = {
-        "interp": lambda: _run_sim(program, ticks, "interp", service),
-        "compiled": lambda: _run_sim(program, ticks, "compiled", service),
-        "board": lambda: _run_board(program, ticks, service),
-        "lifecycle": lambda: _run_lifecycle(
-            program, ticks, service, random.Random(lifecycle_seed)),
-    }
-    ordered = ["interp"] + [p for p in paths if p != "interp"]
-    for path in ordered:
+    runs: List[Tuple[str, "object"]] = []
+    for path in ["interp"] + [p for p in paths if p != "interp"]:
+        if path == "interp":
+            runs.append((path, lambda: _run_sim(program, ticks, "interp",
+                                                service)))
+        elif path == "compiled" and opt_levels is not None:
+            for level in opt_levels:
+                name = f"compiled[O{level}]"
+                runs.append((name, lambda lv=level, nm=name: _run_sim(
+                    program, ticks, "compiled", service,
+                    opt_level=lv, path_name=nm)))
+        elif path == "compiled":
+            runs.append((path, lambda: _run_sim(program, ticks, "compiled",
+                                                service)))
+        elif path == "board":
+            runs.append((path, lambda: _run_board(program, ticks, service)))
+        else:
+            runs.append((path, lambda: _run_lifecycle(
+                program, ticks, service, random.Random(lifecycle_seed))))
+    for name, runner in runs:
         try:
-            results[path] = runners[path]()
+            results[name] = runner()
         except Exception as exc:  # noqa: BLE001 — recorded, compared below
-            results[path] = RunResult(path=path,
+            results[name] = RunResult(path=name,
                                       error=f"{type(exc).__name__}: {exc}")
     reference = results["interp"]
     mismatches: List[Mismatch] = []
-    for path in ordered[1:]:
-        mismatches.extend(_compare(reference, results[path]))
+    for name, _ in runs:
+        if name != "interp":
+            mismatches.extend(_compare(reference, results[name]))
     return Report(label, ticks, results, mismatches)

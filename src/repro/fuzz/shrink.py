@@ -241,7 +241,7 @@ def shrink_module(module: ast.Module, predicate: Predicate,
 
 
 def oracle_predicate(ticks: int, paths, lifecycle_seed: int,
-                     original=None) -> Predicate:
+                     original=None, opt_levels=None) -> Predicate:
     """A predicate that re-runs the differential oracle.
 
     Each evaluation uses a fresh private compiler service so shrink
@@ -267,7 +267,8 @@ def oracle_predicate(ticks: int, paths, lifecycle_seed: int,
 
     def predicate(candidate: ast.Module) -> bool:
         report = check(candidate, ticks, paths,
-                       lifecycle_seed=lifecycle_seed, label="shrink")
+                       lifecycle_seed=lifecycle_seed, label="shrink",
+                       opt_levels=opt_levels)
         if report.ok:
             return False
         if not errors_expected and any(

@@ -51,9 +51,13 @@ class Hypervisor:
                  clock_domains: bool = False,
                  sim_backend: Optional[str] = None,
                  compiler: Optional[CompilerService] = None,
-                 artifacts: Optional[ArtifactStore] = None):
+                 artifacts: Optional[ArtifactStore] = None,
+                 opt_level: Optional[int] = None):
         self.device = device
         self.sim_backend = sim_backend
+        #: mid-end optimization level for every tenant slot this
+        #: hypervisor programs (None = ambient REPRO_OPT_LEVEL)
+        self.opt_level = opt_level
         # One compiler, many instances (§4): the bitstream cache, the
         # board's slot codegen, the coalescer's synthesis estimates and
         # the hull's load estimates all address one artifact store.  An
@@ -69,7 +73,7 @@ class Hypervisor:
         self.compiler = compiler
         self.artifacts = compiler.store
         self.board = SimulatedBoard(device, sim_backend=sim_backend,
-                                    compiler=compiler)
+                                    compiler=compiler, opt_level=opt_level)
         self.cache = (cache if cache is not None
                       else CompilationCache(store=self.artifacts))
         self.hull = Hull(device) if use_hull else None

@@ -33,16 +33,23 @@ from ...verilog import ast_nodes as ast
 from ...verilog.rewrite import collect_identifiers, lvalue_targets, stmt_identifiers
 from ...verilog.width import WidthEnv
 from ..eval_expr import EvalError, Evaluator
-from ..systasks import TaskHost
+from ..systasks import FinishSignal, TaskHost
 from ..simulator import (
     _MAX_SETTLE_ROUNDS,
     InterpSimulator,
     SimulationError,
 )
-from .exprc import ExprCompiler, HELPERS, expr_is_pure
-from .scheduler import rank_order
+from ...opt import optimize_module
+from ...verilog.width import WidthError
+from .exprc import CompileFallback, ExprCompiler, HELPERS, expr_is_pure
+from .scheduler import has_cycle, rank_order
 from .slots import SlotLayout, SlotStore
 from .stmtc import ProcessCompiler
+
+#: Above this many ranked assigns, one unconditional sweep per settle
+#: round costs more than selective pending-set re-evaluation, so the
+#: static combinational tick is only used for small cones.
+_STATIC_COMB_MAX = 96
 
 
 class _Trigger:
@@ -87,9 +94,26 @@ class CompiledModuleCode:
     ``__init__``.
     """
 
-    def __init__(self, module: ast.Module, env: Optional[WidthEnv] = None):
-        self.module = module
-        self.env = env if env is not None else WidthEnv(module)
+    def __init__(self, module: ast.Module, env: Optional[WidthEnv] = None,
+                 opt_level: Optional[int] = None,
+                 keep: "frozenset[str]" = frozenset(), opt=None):
+        # The mid-end runs first: the rest of the analysis, scheduling
+        # and code generation all see the *optimized* module.  At
+        # level 0 this is the identity and the artifact matches the
+        # unoptimized backend exactly.  A pre-built pipeline output
+        # (*opt*, e.g. the compiler service's cached ``KIND_OPT``
+        # artifact) skips the mid-end entirely.
+        if opt is None:
+            opt = optimize_module(module, env=env, level=opt_level, keep=keep)
+        self.opt = opt
+        self.source_module = module
+        self.module = opt.module
+        self.env = opt.env
+        self.opt_level = opt.level
+        #: two-state licence: specialized emission (slot caching) and
+        #: the static sweep are only attempted when granted
+        self.specialize = opt.specialize
+        self.fingerprint = opt.fingerprint
         self.layout = SlotLayout(self.env)
         self.processes: List[_ProcInfo] = []
         self._analyze()
@@ -200,20 +224,120 @@ class CompiledModuleCode:
             s for s in range(nslots)
             if self.comb_watch[s] or self.trig_specs[s]
         )
+        # -- static combinational tick planning --------------------------
+        # Slots that procedural/star/edge machinery watches, vs slots
+        # that only exist to re-mark ranked assigns.  Under the static
+        # sweep the latter need no dirty tracking at all: the sweep
+        # recomputes the whole (acyclic, rank-ordered) cone whenever a
+        # combinational input changed.
+        self.trig_slots = frozenset(
+            s for s in range(nslots) if self.trig_specs[s])
+        comb_in = bytearray(nslots)
+        for proc in comb:
+            for name in proc.reads:
+                slot = self._slot_for(name)
+                if slot is not None:
+                    comb_in[slot] = 1
+        self.comb_in = bytes(comb_in)
+        cyclic = bool(comb) and has_cycle([p.reads for p in comb],
+                                          [p.writes for p in comb])
+        self.static_mode = (
+            self.specialize
+            and not self.fifo_mode
+            and 0 < len(self.comb_order) <= _STATIC_COMB_MAX
+            and not cyclic
+        )
+        self._plan_tick_clock()
+
+    def _plan_tick_clock(self) -> None:
+        """Identify the single free-running clock, if the design has one.
+
+        When every edge-triggered process is sensitive to one bare
+        scalar signal that nothing in the module drives (the classic
+        externally-driven clock), and no ``@*`` process shares the
+        FIFO queue, ``tick()`` can run a *fully static* schedule: the
+        clock edge is applied and its triggers fired inline, without
+        store-API dispatch, dirty marking, or trigger re-evaluation —
+        the per-tick remnant of the dirty-bitset machinery.
+        """
+        self.tick_clock: Optional[str] = None
+        if not getattr(self, "static_mode", False):
+            return
+        clock: Optional[str] = None
+        for proc in self.processes:
+            if proc.kind == "star":
+                return  # shares the FIFO queue on arbitrary changes
+            if proc.kind != "edge":
+                continue
+            for event in proc.events:
+                expr = event.expr
+                if not isinstance(expr, ast.Identifier):
+                    return
+                if clock is None:
+                    clock = expr.name
+                elif expr.name != clock:
+                    return
+        if clock is None:
+            return
+        slot = self.layout.slot_of.get(clock)
+        if slot is None:
+            return
+        sig = self.env.signals.get(clock)
+        if sig is None or sig.width != 1:
+            return
+        # The clock must be externally driven only.
+        from ...opt.ir import stmt_writes
+
+        for proc in self.processes:
+            if clock in proc.writes:
+                return
+            if proc.stmt is not None and clock in stmt_writes(proc.stmt):
+                return
+        self.tick_clock = clock
+        self.tick_clock_slot = slot
 
     # -- code generation -------------------------------------------------------
 
     def _generate(self) -> None:
+        try:
+            self._generate_strategy(self.static_mode)
+        except (CompileFallback, WidthError):
+            # Some sweep member needed an interpreter escape; the
+            # static tick is withdrawn, the generic scheduler stays.
+            self.static_mode = False
+            self._generate_strategy(False)
+
+    def _generate_strategy(self, static: bool) -> None:
         layout = self.layout
         ec = ExprCompiler(self.env, layout.slot_of, layout.mem_slot_of)
-        pc = ProcessCompiler(ec, self.watched)
+        # Marking discipline per process category: under the static
+        # sweep, ranked assigns announce only trigger-watched slots
+        # (star/edge sensitivity), while procedural code additionally
+        # announces combinational inputs so the scheduler knows to
+        # re-sweep.  The generic scheduler keeps the full watched set
+        # everywhere (pending-set re-marking needs it).
+        if static:
+            assign_watched: Set[int] = set(self.trig_slots)
+            proc_watched = set(self.trig_slots) | {
+                s for s in range(layout.n_slots) if self.comb_in[s]}
+        else:
+            assign_watched = proc_watched = set(self.watched)
+        pc = ProcessCompiler(ec, proc_watched)
         lines: List[str] = []
         for proc in self.processes:
             name = f"p{proc.index}"
             if proc.kind == "assign":
+                pc.watched = assign_watched
                 lines.extend(pc.compile_assign(name, proc.assign))
             else:
-                lines.extend(pc.compile_procedural(name, proc.stmt))
+                pc.watched = proc_watched
+                lines.extend(pc.compile_procedural(
+                    name, proc.stmt, specialize=self.specialize))
+        if static:
+            pc.watched = assign_watched
+            by_index = {p.index: p for p in self.processes}
+            lines.extend(pc.compile_sweep(
+                "sweep", [by_index[i].assign for i in self.comb_order]))
         # Compile event-expression value closures (order matches
         # self.edge_specs, which _plan_schedule filled in process order).
         event_sources: List[str] = []
@@ -294,6 +418,13 @@ class CompiledSimulator(InterpSimulator):
         self._queued = bytearray(code.nprocs)
         self._proc_queue: List[int] = []
         self._watched = code.watched
+        self._static = code.static_mode
+        self._comb_in = code.comb_in
+        self._need_sweep = False
+        if self._static and not self._fifo_mode:
+            # Shadow the method: one call layer fewer on the hottest
+            # entry point (settle runs several times per tick).
+            self.settle = self._settle_static  # type: ignore[assignment]
         self._instantiate()
         self._initialize()
 
@@ -322,6 +453,7 @@ class CompiledSimulator(InterpSimulator):
         exec(code.code, namespace)
         self._source = code.source  # kept for debugging/inspection
         self._fn = [namespace[f"p{i}"] for i in range(code.nprocs)]
+        self._sweep = namespace.get("sweep")  # static-tick mode only
         # Per-engine edge-detection triggers over the shared templates.
         self._events = [
             _Trigger(proc, edge, namespace[f"e{k}"])
@@ -348,10 +480,13 @@ class CompiledSimulator(InterpSimulator):
         for name, init, width in self.code.init_decls:
             value = self.evaluator.eval(init, width)
             self.store.set(name, value, notify=False)
-        for index in self.code.prime_comb:
-            if not self._comb_pending[index]:
-                self._comb_pending[index] = 1
-                self._comb_count += 1
+        if self._static:
+            self._need_sweep = bool(self.code.prime_comb)
+        else:
+            for index in self.code.prime_comb:
+                if not self._comb_pending[index]:
+                    self._comb_pending[index] = 1
+                    self._comb_count += 1
         for index in self.code.prime_queue:
             self._queued[index] = 1
             self._proc_queue.append(index)
@@ -380,6 +515,44 @@ class CompiledSimulator(InterpSimulator):
         pending = self._comb_pending
         queued = self._queued
         queue = self._proc_queue
+        if self._static:
+            # Static tick: a dirty combinational input requests one
+            # whole-cone sweep; per-assign pending sets are not kept.
+            comb_in = self._comb_in
+            i = 0
+            while i < len(dirty):
+                slot = dirty[i]
+                i += 1
+                flags[slot] = 0
+                if comb_in[slot]:
+                    self._need_sweep = True
+                for trigger in trig_watch[slot]:
+                    if trigger.edge is None:
+                        p = trigger.proc
+                        if not queued[p]:
+                            queued[p] = 1
+                            queue.append(p)
+                        continue
+                    try:
+                        new = trigger.fn()
+                    except EvalError:
+                        new = 0
+                    prev = trigger.prev
+                    edge = trigger.edge
+                    if edge == "posedge":
+                        fired = not (prev & 1) and (new & 1)
+                    elif edge == "negedge":
+                        fired = (prev & 1) and not (new & 1)
+                    else:
+                        fired = new != prev
+                    trigger.prev = new
+                    if fired:
+                        p = trigger.proc
+                        if not queued[p]:
+                            queued[p] = 1
+                            queue.append(p)
+            del dirty[:]
+            return
         i = 0
         while i < len(dirty):
             slot = dirty[i]
@@ -428,6 +601,9 @@ class CompiledSimulator(InterpSimulator):
         if self._fifo_mode:
             self._settle_fifo()
             return
+        if self._static:
+            self._settle_static()
+            return
         self._drain()
         order = self._comb_order
         pending = self._comb_pending
@@ -463,6 +639,42 @@ class CompiledSimulator(InterpSimulator):
                 funcs[p]()
                 self._drain()
 
+    def _settle_static(self) -> None:
+        """The fully static combinational tick.
+
+        One sweep call settles the whole acyclic ranked cone (the
+        generated function runs every member in rank order with slot
+        values cached in locals), so the scheduler keeps no pending
+        sets and no per-assign dirty bookkeeping: drain raises a
+        single "needs sweep" flag when a combinational input changed.
+        Procedural blocks still run FIFO, sweeping between activations
+        — the same assigns-first schedule the interpreter implements.
+        """
+        dirty = self.store.dirty_list
+        if dirty:
+            self._drain()
+        queue = self._proc_queue
+        queued = self._queued
+        funcs = self._fn
+        sweep = self._sweep
+        runs = 0
+        limit = _MAX_SETTLE_ROUNDS * max(1, len(self._processes))
+        while self._need_sweep or queue:
+            self.settle_rounds += 1
+            runs += 1
+            if runs > limit:
+                raise SimulationError("evaluation did not converge "
+                                      "(combinational loop?)")
+            if self._need_sweep:
+                self._need_sweep = False
+                sweep()
+            else:
+                p = queue.pop(0)
+                queued[p] = 0
+                funcs[p]()
+            if dirty:
+                self._drain()
+
     def _settle_fifo(self) -> None:
         """Interpreter-identical settle: one queue, assigns scanned first.
 
@@ -493,6 +705,76 @@ class CompiledSimulator(InterpSimulator):
             self.settle_rounds += 1
             funcs[pick]()
             self._drain()
+
+    def tick(self, clock: str = "clock", cycles: int = 1) -> None:
+        """Drive *cycles* clock periods; fully static when possible.
+
+        For single-clock static designs (``tick_clock`` planned by the
+        code artifact) the clock edge is applied inline: no store-API
+        dispatch, no dirty-list round trip, no trigger-closure calls —
+        the firing decision replicates ``_drain``'s per-trigger logic
+        against the known new value.  Everything else (settle order,
+        the update-region guard, ``$finish`` compression) matches the
+        reference ``tick``/``step`` statement for statement; designs
+        that fail the plan's conditions — or engines with store
+        watchers attached (the debugger) — take the generic path.
+        """
+        code = self.code
+        clk = code.tick_clock
+        if (clk is None or clock != clk or not self._static
+                or self.store._watchers):
+            return super().tick(clock, cycles)
+        store = self.store
+        d = store.data
+        slot = code.tick_clock_slot
+        host = self.host
+        comb_in_clk = self._comb_in[slot]
+        entries = self._trig_watch[slot]
+        queue = self._proc_queue
+        queued = self._queued
+        nba = self._nba
+        settle = self._settle_static
+        for _ in range(cycles):
+            if host.finished:
+                return
+            try:
+                for value in (1, 0):
+                    if d[slot] != value:
+                        d[slot] = value
+                        if comb_in_clk:
+                            self._need_sweep = True
+                        for trigger in entries:
+                            edge = trigger.edge
+                            if edge is None:
+                                # level sensitivity: any change fires
+                                # (drain's star path; prev untouched)
+                                fired = True
+                            else:
+                                prev = trigger.prev
+                                if edge == "posedge":
+                                    fired = not (prev & 1) and value == 1
+                                elif edge == "negedge":
+                                    fired = bool(prev & 1) and value == 0
+                                else:
+                                    fired = value != prev
+                                trigger.prev = value
+                            if fired:
+                                p = trigger.proc
+                                if not queued[p]:
+                                    queued[p] = 1
+                                    queue.append(p)
+                    settle()
+                    guard = 0
+                    while nba:
+                        guard += 1
+                        if guard > _MAX_SETTLE_ROUNDS:
+                            raise SimulationError(
+                                "update region did not converge")
+                        self._latch()
+                        settle()
+            except FinishSignal:
+                pass
+            self.time += 1
 
     def _latch(self) -> None:
         """Apply queued non-blocking assignments (update region)."""

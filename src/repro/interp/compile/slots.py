@@ -20,10 +20,23 @@ here the way it is on the reference store.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ...verilog.width import WidthEnv, mask
 from ..store import Store
+
+
+@lru_cache(maxsize=None)
+def width_mask(width: int) -> int:
+    """``(1 << width) - 1``, memoized.
+
+    Layout construction computes one mask per declared signal; wide
+    datapaths (256-bit hash pipelines) re-derive the same handful of
+    big integers hundreds of times across engines and layouts, so the
+    mask table is shared process-wide.
+    """
+    return (1 << width) - 1
 
 
 class SlotLayout:
@@ -52,7 +65,7 @@ class SlotLayout:
             if sig.is_memory:
                 continue
             self.slot_of[sig.name] = len(self.slot_of)
-            self.mask_of[sig.name] = (1 << sig.width) - 1
+            self.mask_of[sig.name] = width_mask(sig.width)
         slot = len(self.slot_of)
         self.n_scalars = slot
         for sig in env.signals.values():
@@ -60,7 +73,7 @@ class SlotLayout:
                 continue
             self.mem_slot_of[sig.name] = slot
             self.mem_specs[sig.name] = (
-                sig.base, (1 << sig.width) - 1, slot, sig.depth or 0
+                sig.base, width_mask(sig.width), slot, sig.depth or 0
             )
             slot += 1
         self.n_slots = slot

@@ -9,11 +9,33 @@ applies the store in the update region.  Statements the compiler
 cannot lower fall back to ``S._exec(<node>)`` — the reference
 interpreter on the live slot store — so unsupported constructs keep
 interpreter-identical behaviour instead of failing at elaboration.
+
+Two emission strategies exist per process:
+
+* **generic** — every slot access goes to the store array ``d[i]``
+  directly; any statement/expression may fall back to the reference
+  interpreter.  Always correct; the only strategy at ``-O0``.
+* **specialized** (licensed by the mid-end's two-state analysis) —
+  slot reads and writes are cached in Python locals for the duration
+  of the process body and flushed once at exit, so a 64-round SHA loop
+  touches ``LOAD_FAST`` instead of list subscripts.  Legal only when
+  the *whole* body compiles strictly (no ``EV``/``SYS``/``S._exec``
+  escape can see the store behind the cache); the compiler attempts it
+  first and silently falls back to the generic strategy per process.
+
+Dirty-bitset equivalence of the cached strategy: the generic emitter
+marks a watched slot at its first value-changing write, and the mark
+order (the drain order, hence process activation order) follows
+statement execution order.  The cached emitter preserves this exactly
+by comparing against the (unchanged) store entry at each watched
+write — ``if not df[s] and d[s] != L: mark`` — while deferring only
+the value store to the flush epilogue, which runs before the
+scheduler's next drain.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...verilog import ast_nodes as ast
 from ...verilog.width import WidthError, const_eval
@@ -27,6 +49,9 @@ class ProcessCompiler:
     def __init__(self, compiler: ExprCompiler, watched_slots: Set[int]):
         self.ec = compiler
         self.env = compiler.env
+        #: Slots whose changes must be announced to the scheduler;
+        #: reassigned by the code generator per process category when
+        #: the static-sweep scheduler narrows the set.
         self.watched = watched_slots
         self.lines: List[str] = []
         self.writer_defs: List[str] = []
@@ -36,6 +61,13 @@ class ProcessCompiler:
         #: writer body is being emitted: these indices were evaluated
         #: at the assignment site and arrive as arguments.
         self._frozen: dict = {}
+        #: slot → local name while the specialized emitter is active
+        self._cache: Optional[Dict[int, str]] = None
+        self._cache_order: List[int] = []
+        self._cache_written: Set[int] = set()
+        #: True while a coalesced run's members emit (their counters
+        #: were already merged into one bump)
+        self._suppress_count = False
 
     # -- small emission helpers -------------------------------------------
 
@@ -49,6 +81,43 @@ class ProcessCompiler:
     def _fallback(self, stmt: ast.Stmt, ind: int) -> None:
         self._emit(ind, f"S._exec({self.ec.const_ref(stmt)})")
 
+    # -- the slot cache -----------------------------------------------------
+
+    def _cached_slot(self, slot: int) -> str:
+        """ExprCompiler read hook while the specialized emitter runs."""
+        assert self._cache is not None
+        name = self._cache.get(slot)
+        if name is None:
+            name = f"L{slot}"
+            self._cache[slot] = name
+            self._cache_order.append(slot)
+        return name
+
+    def _begin_cache(self) -> None:
+        self._cache = {}
+        self._cache_order = []
+        self._cache_written = set()
+        self.ec.slot_src = self._cached_slot
+        self.ec.strict = True
+
+    def _end_cache(self) -> Tuple[List[int], Set[int]]:
+        order, written = self._cache_order, self._cache_written
+        self._cache = None
+        self._cache_order = []
+        self._cache_written = set()
+        self.ec.slot_src = self.ec._direct_slot
+        self.ec.strict = False
+        return order, written
+
+    def _cache_frame(self, order: Sequence[int], written: Set[int],
+                     ind: int) -> Tuple[List[str], List[str]]:
+        """(prologue loads, epilogue stores) for one cached body."""
+        pad = "    " * ind
+        loads = [f"{pad}L{slot} = d[{slot}]" for slot in order]
+        stores = [f"{pad}d[{slot}] = L{slot}"
+                  for slot in order if slot in written]
+        return loads, stores
+
     # -- slot write emission ------------------------------------------------
 
     def _mark(self, slot: int, ind: int) -> None:
@@ -58,10 +127,24 @@ class ProcessCompiler:
     def _store_scalar(self, slot: int, value: str, width_ok: bool,
                       sig_mask: int, ind: int) -> None:
         """Masked compare-write of *value* (a temp name) into a slot."""
-        masked = value if width_ok else f"({value} & {sig_mask})"
+        if self._cache is not None:
+            local = self._cached_slot(slot)
+            self._cache_written.add(slot)
+            if not width_ok:
+                self._emit(ind, f"{value} &= {self.ec.lit_ref(sig_mask)}")
+            if slot in self.watched:
+                # First *changing* write marks, compared against the
+                # store entry the flush has not overwritten yet — the
+                # generic emitter's mark point and order, exactly.
+                self._emit(ind, f"if not df[{slot}] and d[{slot}] != {value}:")
+                self._emit(ind + 1, f"df[{slot}] = 1; dla({slot})")
+            self._emit(ind, f"{local} = {value}")
+            return
+        masked = (value if width_ok
+                  else f"({value} & {self.ec.lit_ref(sig_mask)})")
         if slot in self.watched:
             if not width_ok:
-                self._emit(ind, f"{value} &= {sig_mask}")
+                self._emit(ind, f"{value} &= {self.ec.lit_ref(sig_mask)}")
             self._emit(ind, f"if d[{slot}] != {value}:")
             self._emit(ind + 1, f"d[{slot}] = {value}")
             self._mark(slot, ind + 1)
@@ -89,14 +172,30 @@ class ProcessCompiler:
                 raise CompileFallback("nested lvalue selects")
             sig = self.env.signal(lhs.base.name)
             if sig.is_memory:
+                mem = self.ec.mem_ref(lhs.base.name)
+                mslot = self.ec.mem_slot_of[lhs.base.name]
+                word_mask = self.ec.lit_ref((1 << sig.width) - 1)
+                if (self._frozen.get(id(lhs.index)) is None
+                        and self._is_const(lhs.index)):
+                    # Constant address: resolve the bounds check now.
+                    cidx = const_eval(lhs.index, self.env.params) - sig.base
+                    if not 0 <= cidx < (sig.depth or 0):
+                        return  # out-of-range writes are dropped
+                    word = self._gensym("w")
+                    self._emit(ind, f"{word} = {value} & {word_mask}")
+                    if mslot in self.watched:
+                        self._emit(ind, f"if {mem}[{cidx}] != {word}:")
+                        self._emit(ind + 1, f"{mem}[{cidx}] = {word}")
+                        self._mark(mslot, ind + 1)
+                    else:
+                        self._emit(ind, f"{mem}[{cidx}] = {word}")
+                    return
                 idx = self._gensym("a")
                 base = f" - {sig.base}" if sig.base else ""
                 self._emit(ind, f"{idx} = ({self._index_src(lhs.index)}){base}")
                 self._emit(ind, f"if 0 <= {idx} < {sig.depth}:")
-                mem = self.ec.mem_ref(lhs.base.name)
                 word = self._gensym("w")
-                self._emit(ind + 1, f"{word} = {value} & {(1 << sig.width) - 1}")
-                mslot = self.ec.mem_slot_of[lhs.base.name]
+                self._emit(ind + 1, f"{word} = {value} & {word_mask}")
                 if mslot in self.watched:
                     self._emit(ind + 1, f"if {mem}[{idx}] != {word}:")
                     self._emit(ind + 2, f"{mem}[{idx}] = {word}")
@@ -128,7 +227,7 @@ class ProcessCompiler:
                 offset_src, body_ind = off, ind + 1
             new = self._gensym("n")
             self._emit(body_ind,
-                       f"{new} = (d[{slot}] & ~(1 << {offset_src}))"
+                       f"{new} = ({self.ec.slot_src(slot)} & ~(1 << {offset_src}))"
                        f" | (({value} & 1) << {offset_src})")
             self._store_scalar(slot, new, True, (1 << sig.width) - 1, body_ind)
             return
@@ -148,10 +247,11 @@ class ProcessCompiler:
                     return
                 field = ((1 << sel_width) - 1) << low
                 new = self._gensym("n")
-                src = (f"(d[{slot}] & {~field & sig_mask})"
-                       f" | (({value} << {low}) & {field})")
+                src = (f"({self.ec.slot_src(slot)} & "
+                       f"{self.ec.lit_ref(~field & sig_mask)})"
+                       f" | (({value} << {low}) & {self.ec.lit_ref(field)})")
                 if field & ~sig_mask:
-                    src = f"({src}) & {sig_mask}"
+                    src = f"({src}) & {self.ec.lit_ref(sig_mask)}"
                 self._emit(ind, f"{new} = {src}")
                 self._store_scalar(slot, new, True, sig_mask, ind)
                 return
@@ -170,10 +270,13 @@ class ProcessCompiler:
             new = self._gensym("n")
             self._emit(ind, f"{low} = {low_src}")
             self._emit(ind, f"if {low} >= 0:")
-            self._emit(ind + 1, f"{field} = {(1 << sel_width) - 1} << {low}")
             self._emit(ind + 1,
-                       f"{new} = ((d[{slot}] & ~{field})"
-                       f" | (({value} << {low}) & {field})) & {sig_mask}")
+                       f"{field} = {self.ec.lit_ref((1 << sel_width) - 1)}"
+                       f" << {low}")
+            self._emit(ind + 1,
+                       f"{new} = (({self.ec.slot_src(slot)} & ~{field})"
+                       f" | (({value} << {low}) & {field}))"
+                       f" & {self.ec.lit_ref(sig_mask)}")
             self._store_scalar(slot, new, True, sig_mask, ind + 1)
             return
         if isinstance(lhs, ast.Concat):
@@ -183,7 +286,7 @@ class ProcessCompiler:
                 shift -= part_width
                 piece = self._gensym("v")
                 self._emit(ind, f"{piece} = ({value} >> {shift})"
-                                f" & {(1 << part_width) - 1}")
+                                f" & {self.ec.lit_ref((1 << part_width) - 1)}")
                 self._emit_store(part, piece, part_width, ind)
             return
         raise CompileFallback(f"invalid lvalue {type(lhs).__name__}")
@@ -193,6 +296,11 @@ class ProcessCompiler:
     def emit_stmt(self, stmt: Optional[ast.Stmt], ind: int) -> None:
         if stmt is None:
             self._emit(ind, "pass")
+            return
+        if self._cache is not None:
+            # Specialized attempt: any fallback aborts the whole body
+            # (the caller retries with the generic strategy).
+            self._emit_stmt(stmt, ind)
             return
         mark = len(self.lines)
         try:
@@ -204,17 +312,47 @@ class ProcessCompiler:
             self._fallback(stmt, ind)
 
     def _count(self, ind: int, stmts: int, ops: int) -> None:
-        if ops:
+        if self._suppress_count:
+            return
+        if stmts and ops:
             self._emit(ind, f"_st += {stmts}; _ops += {ops}")
-        else:
+        elif ops:
+            self._emit(ind, f"_ops += {ops}")
+        elif stmts:
             self._emit(ind, f"_st += {stmts}")
 
     def _emit_stmt(self, stmt: ast.Stmt, ind: int) -> None:
         if isinstance(stmt, ast.Assign):
             width = self.env.width_of(stmt.lhs)
-            rhs = self.ec.compile(stmt.rhs, width)
             value_width = max(self.env.width_of(stmt.rhs), width)
             self._count(ind, 1, expr_nodes(stmt.rhs))
+            if self._cache is not None:
+                # Specialized bodies hoist repeated pure subexpressions
+                # of this statement into prelude locals.
+                self.ec.begin_hoist(
+                    [stmt.rhs], lambda text: self._emit(ind, text))
+                try:
+                    rhs = self.ec.compile(stmt.rhs, width)
+                finally:
+                    self.ec.end_hoist()
+            else:
+                rhs = self.ec.compile(stmt.rhs, width)
+            if (self._cache is not None and stmt.blocking
+                    and isinstance(stmt.lhs, ast.Identifier)):
+                # Straight-to-local fast path for unwatched scalars:
+                # no temp, no compare, no mark — the flush publishes.
+                sig = self.env.signal(stmt.lhs.name)
+                if not sig.is_memory:
+                    slot = self.ec.slot_of[stmt.lhs.name]
+                    if slot not in self.watched:
+                        local = self._cached_slot(slot)
+                        self._cache_written.add(slot)
+                        if value_width > sig.width:
+                            mask_src = self.ec.lit_ref((1 << sig.width) - 1)
+                            self._emit(ind, f"{local} = ({rhs}) & {mask_src}")
+                        else:
+                            self._emit(ind, f"{local} = {rhs}")
+                        return
             value = self._gensym("v")
             self._emit(ind, f"{value} = {rhs}")
             if stmt.blocking:
@@ -231,12 +369,15 @@ class ProcessCompiler:
             return
         if isinstance(stmt, (ast.Block, ast.ForkJoin)):
             self._count(ind, 1, 0)
+            if self._cache is not None:
+                self._emit_block_coalesced(stmt.stmts, ind)
+                return
             for inner in stmt.stmts:
                 self.emit_stmt(inner, ind)
             return
         if isinstance(stmt, ast.If):
             self._count(ind, 1, expr_nodes(stmt.cond))
-            self._emit(ind, f"if {self.ec.compile_bool(stmt.cond)}:")
+            self._emit(ind, f"if {self.ec.compile_cond(stmt.cond)}:")
             self.emit_stmt(stmt.then_stmt, ind + 1)
             if stmt.else_stmt is not None:
                 self._emit(ind, "else:")
@@ -250,7 +391,7 @@ class ProcessCompiler:
             self.emit_stmt(stmt.init, ind)
             guard = self._gensym("it")
             self._emit(ind, f"{guard} = 0")
-            self._emit(ind, f"while {self.ec.compile_bool(stmt.cond)}:")
+            self._emit(ind, f"while {self.ec.compile_cond(stmt.cond)}:")
             self._count(ind + 1, 0, expr_nodes(stmt.cond))
             self.emit_stmt(stmt.body, ind + 1)
             self.emit_stmt(stmt.step, ind + 1)
@@ -263,7 +404,7 @@ class ProcessCompiler:
             self._count(ind, 1, 0)
             guard = self._gensym("it")
             self._emit(ind, f"{guard} = 0")
-            self._emit(ind, f"while {self.ec.compile_bool(stmt.cond)}:")
+            self._emit(ind, f"while {self.ec.compile_cond(stmt.cond)}:")
             self.emit_stmt(stmt.body, ind + 1)
             self._emit(ind + 1, f"{guard} += 1")
             self._emit(ind + 1, f"if {guard} > {_MAX_LOOP_ITERATIONS}:")
@@ -288,6 +429,39 @@ class ProcessCompiler:
         # System tasks (and anything else) run through the reference
         # interpreter against the slot store: identical output, cold path.
         raise CompileFallback(type(stmt).__name__)
+
+    def _emit_block_coalesced(self, stmts, ind: int) -> None:
+        """Emit a block body with straight-line counter runs merged.
+
+        A run of plain assignments in a strict-compiled body executes
+        atomically — every operation in it is guarded and total, so no
+        abort can be observed between its members — which makes one
+        merged ``_st``/``_ops`` bump exactly equivalent to the
+        per-statement bumps at every observable point.
+        """
+        run: List[ast.Stmt] = []
+
+        def flush() -> None:
+            if not run:
+                return
+            ops = sum(expr_nodes(s.rhs) for s in run
+                      if isinstance(s, ast.Assign))
+            self._count(ind, len(run), ops)
+            self._suppress_count = True
+            try:
+                for member in run:
+                    self.emit_stmt(member, ind)
+            finally:
+                self._suppress_count = False
+            del run[:]
+
+        for inner in stmts:
+            if isinstance(inner, (ast.Assign, ast.NullStmt)):
+                run.append(inner)
+            else:
+                flush()
+                self.emit_stmt(inner, ind)
+        flush()
 
     def _emit_case(self, stmt: ast.Case, ind: int) -> None:
         # The interpreter re-evaluates the subject per label; hoisting it
@@ -315,8 +489,8 @@ class ProcessCompiler:
                 if stmt.kind in ("casez", "casex") and isinstance(label, ast.Number):
                     dontcare = label.xz_mask
                 if dontcare:
-                    test = (f"({subject} & {~dontcare}) == "
-                            f"(({label_src}) & {~dontcare})")
+                    test = (f"({subject} & {self.ec.lit_ref(~dontcare)}) == "
+                            f"(({label_src}) & {self.ec.lit_ref(~dontcare)})")
                 else:
                     test = f"{subject} == ({label_src})"
                 self._emit(ind, f"{'if' if first else 'elif'} {test}:")
@@ -363,7 +537,10 @@ class ProcessCompiler:
 
         Dynamic index expressions are evaluated at the assignment site
         (LRM §9.2.2) and passed in as arguments; the writer only
-        applies the deferred store in the update region.
+        applies the deferred store in the update region.  Writers run
+        in the latch region — after any cached body has flushed — so
+        they always compile against the store directly, even while a
+        specialized body is being emitted.
         """
         name = f"nw{self._writers}"
         self._writers += 1
@@ -371,12 +548,21 @@ class ProcessCompiler:
         params = ["_v"] + [f"_x{k}" for k in range(len(dyn))]
         saved, self.lines = self.lines, []
         self._frozen = {id(expr): f"_x{k}" for k, expr in enumerate(dyn)}
+        cache_saved = self._cache
+        strict_saved = self.ec.strict
+        self._cache = None
+        self.ec.slot_src = self.ec._direct_slot
+        self.ec.strict = False
         try:
             self._emit_store(lhs, "_v", value_width, 1)
             body = self.lines or ["    pass"]
         finally:
             self.lines = saved
             self._frozen = {}
+            self._cache = cache_saved
+            if cache_saved is not None:
+                self.ec.slot_src = self._cached_slot
+            self.ec.strict = strict_saved
         self.writer_defs.append(f"def {name}({', '.join(params)}):")
         self.writer_defs.extend(body)
         self.writer_defs.append("")
@@ -401,13 +587,21 @@ class ProcessCompiler:
         return ([f"def {name}():", "    try:"] + self.lines
                 + ["    finally:", footer, ""])
 
-    def compile_procedural(self, name: str, stmt: ast.Stmt) -> List[str]:
+    def compile_procedural(self, name: str, stmt: ast.Stmt,
+                           specialize: bool = False) -> List[str]:
         """Function source for an always/initial block body.
 
         Counters flush in a ``finally`` so a ``$finish`` raised mid-block
         still records the statements executed up to it, matching the
-        interpreter's incremental counting.
+        interpreter's incremental counting.  With *specialize*, the
+        slot-cached strategy is attempted first; bodies that need any
+        interpreter escape silently keep the generic strategy.
         """
+        if specialize:
+            try:
+                return self._compile_procedural_cached(name, stmt)
+            except (CompileFallback, WidthError):
+                pass
         self.lines = []
         lines = [f"def {name}():", "    _st = 0; _ops = 0", "    try:"]
         self.emit_stmt(stmt, 2)
@@ -416,4 +610,75 @@ class ProcessCompiler:
         lines.append("        S.stmts_executed += _st")
         lines.append("        EVC.ops_evaluated += _ops")
         lines.append("")
+        return lines
+
+    def _compile_procedural_cached(self, name: str, stmt: ast.Stmt) -> List[str]:
+        """The specialized strategy: loads hoisted, stores flushed once.
+
+        The flush lives in a ``finally`` so a mid-body abort (e.g. the
+        loop-iteration guard) still publishes every write performed up
+        to the abort point — slots the body never reached flush their
+        unchanged entry value, a no-op.
+        """
+        self.lines = []
+        self._begin_cache()
+        try:
+            self.emit_stmt(stmt, 2)
+            body = self.lines
+            order, written = self._end_cache()
+        except BaseException:
+            self._end_cache()
+            self.lines = []
+            raise
+        loads, stores = self._cache_frame(order, written, 1)
+        lines = [f"def {name}():", "    _st = 0; _ops = 0"]
+        lines.extend(loads)
+        lines.append("    try:")
+        lines.extend(body or ["        pass"])
+        lines.append("    finally:")
+        lines.extend(["    " + s for s in stores])
+        lines.append("        S.stmts_executed += _st")
+        lines.append("        EVC.ops_evaluated += _ops")
+        lines.append("")
+        self.lines = []
+        return lines
+
+    def compile_sweep(self, name: str,
+                      assigns: Sequence[ast.ContinuousAssign]) -> List[str]:
+        """One fused function executing *assigns* in rank order.
+
+        This is the fully static combinational tick: a single call
+        settles the whole (acyclic) cone with slot values cached in
+        locals across all member assigns — per-assign dispatch, dirty
+        re-marking and pending-set bookkeeping all disappear.  Raises
+        :class:`CompileFallback` when any member cannot be compiled
+        strictly; the code generator then keeps the generic scheduler.
+        """
+        self.lines = []
+        self._begin_cache()
+        total_ops = 0
+        try:
+            for item in assigns:
+                width = self.env.width_of(item.lhs)
+                value_width = max(self.env.width_of(item.rhs), width)
+                value = self._gensym("v")
+                self._emit(2, f"{value} = {self.ec.compile(item.rhs, width)}")
+                self._emit_store(item.lhs, value, value_width, 2)
+                total_ops += expr_nodes(item.rhs)
+            body = self.lines
+            order, written = self._end_cache()
+        except BaseException:
+            self._end_cache()
+            self.lines = []
+            raise
+        loads, stores = self._cache_frame(order, written, 1)
+        lines = [f"def {name}():"]
+        lines.extend(loads)
+        lines.append("    try:")
+        lines.extend(body or ["        pass"])
+        lines.append("    finally:")
+        lines.extend(["    " + s for s in stores])
+        lines.append(f"        EVC.ops_evaluated += {total_ops}")
+        lines.append("")
+        self.lines = []
         return lines

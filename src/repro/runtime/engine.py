@@ -89,15 +89,20 @@ class SoftwareEngine(Engine):
     def __init__(self, program: CompiledProgram, host: TaskHost,
                  backend: Optional[str] = None,
                  compiler: Optional[CompilerService] = None,
-                 quiet_init: bool = False):
+                 quiet_init: bool = False,
+                 opt_level: Optional[int] = None):
         self.program = program
         self.host = host
         self.backend = backend
         code = None
         if resolve_backend(backend) == "compiled":
+            # The artifact is keyed by (digest, pipeline fingerprint):
+            # engines of one program at one optimization level share
+            # one optimized code object, across instances and tenants.
             service = compiler if compiler is not None else default_service()
             code = service.codegen(program.flat, env=program.env,
-                                   digest=program.digest)
+                                   digest=program.digest,
+                                   opt_level=opt_level)
         # quiet_init: this engine exists only to be restored into (e.g.
         # evacuation from hardware, §3.5) — boot it against a throwaway
         # host so initial-block side effects ($display output, VFS

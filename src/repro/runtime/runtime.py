@@ -61,7 +61,8 @@ class Runtime:
                  costs: Optional[TransitionCosts] = None,
                  sim_backend: Optional[str] = None,
                  compiler: Optional[CompilerService] = None,
-                 quiet_boot: bool = False):
+                 quiet_boot: bool = False,
+                 opt_level: Optional[int] = None):
         self.compiler = compiler if compiler is not None else default_service()
         self.program: CompiledProgram = (
             source if isinstance(source, CompiledProgram)
@@ -70,6 +71,9 @@ class Runtime:
         self.name = name or self.program.name
         self.clock = clock
         self.sim_backend = sim_backend
+        #: mid-end optimization level for this instance's software
+        #: engines (None = ambient REPRO_OPT_LEVEL)
+        self.opt_level = opt_level
         self.host = TaskHost(vfs if vfs is not None else VirtualFS(), echo=echo)
         # quiet_boot: this instance exists to receive a restored context
         # (a migration destination, §3.5) — initial blocks still run to
@@ -79,7 +83,8 @@ class Runtime:
         self.engine: Engine = SoftwareEngine(self.program, self.host,
                                              backend=sim_backend,
                                              compiler=self.compiler,
-                                             quiet_init=quiet_boot)
+                                             quiet_init=quiet_boot,
+                                             opt_level=opt_level)
         self.costs = costs or TransitionCosts()
         self.refinement = AdaptiveRefinement()
 
@@ -163,7 +168,8 @@ class Runtime:
         engine = SoftwareEngine(self.program, self.host,
                                 backend=self.sim_backend,
                                 compiler=self.compiler,
-                                quiet_init=True)
+                                quiet_init=True,
+                                opt_level=self.opt_level)
         engine.restore(state)
         transfer = self.program.state.total_bits / self.costs.state_bandwidth_bits_s
         self.sim_time += transfer

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from . import ast_nodes as ast
+from .fold import fold_expr
 from .rewrite import rename_item, rename_expr
 from .width import WidthError, const_eval
 
@@ -90,13 +91,22 @@ def _materialize_params(items: List[ast.Item], params: Mapping[str, int]) -> Lis
 
 
 def _subst_item(item: ast.Item, mapping: Mapping[str, ast.Expr]) -> ast.Item:
-    """Substitute identifiers with expressions across one item."""
-    from .rewrite import substitute_expr, map_stmt_exprs
+    """Substitute identifiers with expressions across one item.
+
+    Substituted literals are folded on the way up (width-safely — see
+    :mod:`repro.verilog.fold`), so ``WIDTH-1``-style parameter
+    arithmetic leaves elaboration as a single literal instead of a
+    constant subtree every later stage re-walks.
+    """
+    from .rewrite import map_expr, map_stmt_exprs
 
     def fn(node: ast.Expr) -> ast.Expr:
         if isinstance(node, ast.Identifier) and node.name in mapping:
             return mapping[node.name]
-        return node
+        return fold_expr(node)
+
+    def substitute_expr(expr: ast.Expr, _mapping) -> ast.Expr:
+        return map_expr(expr, fn)
 
     if isinstance(item, ast.Decl):
         new_range = None

@@ -1,0 +1,20 @@
+// differential-fuzz repro (distilled from seed 24)
+// fuzz-ticks: 4
+// REGRESSION — board path. A loop body executing one memory-NBA site
+// several times per tick with different addresses used to overwrite
+// the site's single __wa shadow address, latching only the last write.
+// The §3.4 transform now gives looped indexed sites a pending-update
+// queue of (index, value) pairs (__wqa/__wqd/__wn) drained by the
+// update state in execution order, so every iteration latches — the
+// same behaviour the software engines' NBA queues implement.
+module loop_nba_memory(clock);
+  input wire clock;
+  reg [7:0] cyc = 0;
+  reg [7:0] mem [0:3];
+  integer i;
+  always @(posedge clock) begin
+    cyc <= cyc + 1;
+    for (i = 0; i < 3; i = i + 1)
+      mem[i] <= cyc + i;
+  end
+endmodule
