@@ -5,7 +5,16 @@ from .synth import CAPTURE_TREE_FANOUT, ResourceEstimate, SynthOptions, Synthesi
 from .bitstream import Bitstream, BitstreamCompiler, text_digest
 from .cache import CacheStats, CompilationCache
 from .speculative import SpeculativeBuild, SpeculativeCompiler
-from .board import BoardError, EngineSlot, EvalOutcome, SimulatedBoard
+from .errors import (
+    AbiTimeoutError, BoardDeadError, BoardError, DeadlineExceededError,
+    FabricError, PersistentFabricError, ReprogramError, SlotHangError,
+    SlotLockupError, TransientFabricError,
+)
+from .faults import (
+    FAULT_KINDS, FaultPlan, FaultSpecError, default_fault_plan,
+    parse_fault_spec,
+)
+from .board import EngineSlot, EvalOutcome, SimulatedBoard
 
 __all__ = [
     "DE10", "DEVICES", "F1", "STRATIX10", "Device", "device_by_name",
@@ -13,5 +22,11 @@ __all__ = [
     "Bitstream", "BitstreamCompiler", "text_digest",
     "CacheStats", "CompilationCache",
     "SpeculativeBuild", "SpeculativeCompiler",
-    "BoardError", "EngineSlot", "EvalOutcome", "SimulatedBoard",
+    "FabricError", "TransientFabricError", "PersistentFabricError",
+    "BoardError", "SlotLockupError", "SlotHangError",
+    "DeadlineExceededError", "AbiTimeoutError", "ReprogramError",
+    "BoardDeadError",
+    "FAULT_KINDS", "FaultPlan", "FaultSpecError", "default_fault_plan",
+    "parse_fault_spec",
+    "EngineSlot", "EvalOutcome", "SimulatedBoard",
 ]

@@ -30,12 +30,10 @@ from ..interp.systasks import TaskHost
 from ..verilog import ast_nodes as ast
 from .bitstream import Bitstream
 from .device import Device
+from .errors import BoardDeadError, BoardError  # noqa: F401  (canonical home moved)
+from .faults import FaultPlan, default_fault_plan
 
 _MAX_FREERUN_CYCLES = 1_000_000
-
-
-class BoardError(Exception):
-    """Raised on protocol misuse (no design, unknown slot, runaway)."""
 
 
 @dataclass
@@ -80,7 +78,8 @@ class SimulatedBoard:
     """A reconfigurable device executing transformed sub-programs."""
 
     def __init__(self, device: Device, sim_backend: Optional[str] = None,
-                 compiler=None, opt_level: Optional[int] = None):
+                 compiler=None, opt_level: Optional[int] = None,
+                 faults: Optional[FaultPlan] = None):
         self.device = device
         self.sim_backend = sim_backend
         #: mid-end optimization level for slot codegen (None = ambient
@@ -92,11 +91,30 @@ class SimulatedBoard:
         #: codegen artifact — reprogramming epochs and same-workload
         #: tenants stop paying per-slot compilation.
         self.compiler = compiler
+        #: Fault-injection schedule; defaults to the ambient
+        #: ``REPRO_FAULT_SPEC`` plan (``None`` when chaos is off).
+        self.faults = faults if faults is not None else default_fault_plan()
+        #: A dead board rejects every operation with
+        #: :class:`~repro.fabric.errors.BoardDeadError`; all slot state
+        #: is lost (tenants recover from checkpoints, not the board).
+        self.dead = False
         self.bitstream: Optional[Bitstream] = None
         self.clock_hz: float = device.max_clock_hz
         self.slots: Dict[int, EngineSlot] = {}
         self.reconfigurations = 0
         self.reconfig_seconds_total = 0.0
+
+    # -- health ----------------------------------------------------------------
+
+    def kill(self) -> None:
+        """Model whole-board death: drop all slot state, reject all ops."""
+        self.dead = True
+        self.slots.clear()
+        self.bitstream = None
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise BoardDeadError(f"board {self.device.name} is dead")
 
     # -- (re)programming -------------------------------------------------------
 
@@ -128,6 +146,11 @@ class SimulatedBoard:
                 engines: Dict[int, CompiledProgram]) -> None:
         """Load a design; destroys all current slot state (hence the
         hypervisor's state-safe handshake before calling this)."""
+        self._check_alive()
+        if self.faults is not None and self.faults.active:
+            # Injected load failures fire *before* the current design is
+            # torn down, so a failed attempt is safely retryable.
+            self.faults.program_op(self)
         self.slots.clear()
         self.bitstream = bitstream
         self.clock_hz = bitstream.clock_hz
@@ -143,10 +166,19 @@ class SimulatedBoard:
             self.slots[engine_id] = EngineSlot(engine_id, program, sim)
 
     def _slot(self, engine_id: int) -> EngineSlot:
+        self._check_alive()
         try:
             return self.slots[engine_id]
         except KeyError:
             raise BoardError(f"no engine slot {engine_id}") from None
+
+    def _control_fault(self, op: str) -> None:
+        """Fault-injection point for control-plane ops.
+
+        Fires *before* any slot state is mutated, so a supervised retry
+        replays the operation exactly."""
+        if self.faults is not None and self.faults.active:
+            self.faults.control_op(self, op)
 
     # -- data plane ----------------------------------------------------------------
 
@@ -182,8 +214,21 @@ class SimulatedBoard:
         slot.sim.step()
 
     def snapshot(self, engine_id: int, names=None) -> Dict[str, object]:
-        """Bulk ``get``: capture slot program state."""
+        """Bulk ``get``: capture slot program state.
+
+        A narrowed capture set (*names*) always gets the transform's
+        ``__``-prefixed bookkeeping added back: the control state,
+        the NBA shadow registers and the pending-update queues
+        (``__wqa/__wqd/__wn``) are what make a snapshot taken
+        *mid-schedule* (between a trap and its continuation) replay
+        identically — they are state, not volatile scratch, even
+        though no source-level capture set ever names them.
+        """
         slot = self._slot(engine_id)
+        if names is not None:
+            env = slot.sim.store.env
+            book = [n for n in env.signals if n.startswith("__")]
+            names = list(names) + [n for n in book if n not in set(names)]
         snap = slot.sim.store.snapshot(names)
         slot.abi_ops += max(1, len(snap))
         return snap
@@ -218,11 +263,13 @@ class SimulatedBoard:
         slot = self._slot(engine_id)
         if slot.pending_task:
             raise BoardError("evaluate with a pending trap; call cont()")
+        self._control_fault("evaluate")
         return self._drive(slot)
 
     def cont(self, engine_id: int) -> EvalOutcome:
         """Grant continuation after a serviced trap and keep driving."""
         slot = self._slot(engine_id)
+        self._control_fault("cont")
         slot.sim.set(ABI_PORT, ABI_CONT)
         slot.sim.step()  # let the __cont wire settle before the edge
         slot.sim.tick(NATIVE_CLOCK)
@@ -246,6 +293,7 @@ class SimulatedBoard:
         it through cont/evaluate.
         """
         slot = self._slot(engine_id)
+        self._control_fault("run_ticks")
         start_cycles = slot.native_cycles
         done = 0
         while done < ticks:

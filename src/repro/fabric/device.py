@@ -66,6 +66,17 @@ class Device:
     def fits(self, luts: int, ffs: int) -> bool:
         return luts <= self.luts and ffs <= self.ffs
 
+    #: How much slower than the ABI link an operation may be before the
+    #: supervisor declares it hung.  Any legitimate control-plane call
+    #: charges at most a handful of link round trips of modeled time;
+    #: a wedged engine stalls for seconds.
+    DEADLINE_LINK_MULTIPLE = 1e4
+
+    @property
+    def op_deadline_s(self) -> float:
+        """Per-operation deadline for supervised board calls (seconds)."""
+        return self.abi_latency_s * self.DEADLINE_LINK_MULTIPLE
+
 
 #: Terasic DE10-Nano (Intel Cyclone V SE, §6's first platform).
 DE10 = Device(

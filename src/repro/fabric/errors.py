@@ -1,0 +1,74 @@
+"""Typed failure classification for the simulated fabric.
+
+A fleet of reconfigurable boards fails in ways a single benchmark
+harness never sees: engines lock up mid-evaluate, bitstream loads
+abort, host links drop or duplicate ABI messages, whole boards die.
+The supervisor's recovery policy (retry vs. quarantine-and-restore)
+hinges entirely on *classifying* those failures, so every error the
+fabric raises derives from one of two bases:
+
+* :class:`TransientFabricError` — the operation did not take effect
+  and retrying it is safe and likely to succeed (a dropped message, a
+  one-off lockup glitch, a failed bitstream load).  The supervised
+  channel retries these with capped exponential backoff.
+* :class:`PersistentFabricError` — the board (or the protocol) is
+  beyond retry: state is lost or unsafe.  The supervisor quarantines
+  the board and restores every resident tenant from its last
+  checkpoint onto healthy fabric.
+
+:class:`BoardError` (protocol misuse, runaway engines) predates this
+hierarchy and is rebased onto the persistent side: misuse is fail-stop,
+not retry-until-green.
+"""
+
+from __future__ import annotations
+
+
+class FabricError(Exception):
+    """Base class for every failure the fabric surfaces."""
+
+
+class TransientFabricError(FabricError):
+    """A failed operation that did not take effect; retrying is safe."""
+
+
+class PersistentFabricError(FabricError):
+    """Unrecoverable at the call site: quarantine and restore."""
+
+
+class BoardError(PersistentFabricError):
+    """Raised on protocol misuse (no design, unknown slot, runaway)."""
+
+
+class SlotLockupError(TransientFabricError):
+    """An engine slot refused a control-plane operation (glitch)."""
+
+
+class SlotHangError(TransientFabricError):
+    """An engine slot wedged: the operation never completed.
+
+    In the simulated fabric a hang manifests as a call that only
+    returns after ``stalled_seconds`` of modeled time with no result;
+    the supervised channel caps the charge at its deadline and converts
+    the hang into :class:`DeadlineExceededError`.
+    """
+
+    def __init__(self, message: str, stalled_seconds: float = 1.0):
+        super().__init__(message)
+        self.stalled_seconds = stalled_seconds
+
+
+class DeadlineExceededError(TransientFabricError):
+    """A supervised call ran past its deadline (hang detection)."""
+
+
+class AbiTimeoutError(TransientFabricError):
+    """An ABI message was lost on the host link before delivery."""
+
+
+class ReprogramError(TransientFabricError):
+    """A bitstream load failed; the fabric holds its previous design."""
+
+
+class BoardDeadError(PersistentFabricError):
+    """The board is dead (or quarantined); all resident state is lost."""

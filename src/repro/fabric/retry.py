@@ -1,0 +1,91 @@
+"""Retry policy for supervised fabric calls.
+
+Transient fabric failures (dropped ABI messages, slot lockup glitches,
+failed bitstream loads) are retried with capped exponential backoff;
+the policy object holds both the knobs and the fleet-wide counters, so
+a supervisor can hand one policy to every channel it owns and read a
+single set of health statistics back (the ``stats()`` idiom).
+
+Backoff charges *modeled* time — it flows into the same per-channel
+``seconds`` accounting as link latency, so resilience benchmarks see
+retries as lost throughput, exactly like real hardware would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class RetryPolicy:
+    """Capped exponential backoff with shared health counters."""
+
+    def __init__(self, max_attempts: int = 6, base_backoff_s: float = 1e-4,
+                 max_backoff_s: float = 1e-2):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_backoff_s = base_backoff_s
+        self.max_backoff_s = max_backoff_s
+        #: transient failures that were retried
+        self.retries = 0
+        #: modeled seconds spent backing off
+        self.backoff_seconds = 0.0
+        #: operations abandoned after ``max_attempts`` failures
+        self.exhausted = 0
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (1-based): base·2^(n-1), capped."""
+        return min(self.max_backoff_s,
+                   self.base_backoff_s * (2 ** (attempt - 1)))
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether a failed *attempt* (1-based) leaves retries budget."""
+        return attempt < self.max_attempts
+
+    def record_retry(self, attempt: int) -> float:
+        """Account one retry; returns the modeled backoff charged."""
+        self.retries += 1
+        seconds = self.backoff_s(attempt)
+        self.backoff_seconds += seconds
+        return seconds
+
+    def record_exhausted(self) -> None:
+        self.exhausted += 1
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "exhausted": self.exhausted,
+        }
+
+
+def retry_call(policy: RetryPolicy, fn, classify=None):
+    """Run *fn* under *policy*, retrying transient fabric failures.
+
+    Returns ``(result, retries, backoff_seconds)`` so the caller can
+    fold the modeled backoff into its own latency accounting.  On
+    exhaustion the last transient error is escalated to
+    :class:`~repro.fabric.errors.PersistentFabricError`.  *classify*
+    may veto a retry (return False) for errors that are transient in
+    type but not at this call site.
+    """
+    from .errors import PersistentFabricError, TransientFabricError
+
+    attempt = 0
+    backoff = 0.0
+    while True:
+        try:
+            return fn(), attempt, backoff
+        except PersistentFabricError:
+            raise
+        except TransientFabricError as err:
+            if classify is not None and not classify(err):
+                raise
+            attempt += 1
+            if not policy.should_retry(attempt):
+                policy.record_exhausted()
+                raise PersistentFabricError(
+                    f"operation failed after {attempt} attempts"
+                ) from err
+            backoff += policy.record_retry(attempt)

@@ -20,7 +20,7 @@ import time
 
 from ..compiler.service import CompilerService
 from .gen import GrammarWeights, ModuleGenerator
-from .oracle import DEFAULT_PATHS, check
+from .oracle import ALL_PATHS, DEFAULT_PATHS, check
 from .shrink import oracle_predicate, shrink_module, write_repro
 
 
@@ -35,8 +35,15 @@ def main(argv=None) -> int:
                         help="number of programs (seeds seed..seed+n-1)")
     parser.add_argument("--ticks", type=int, default=None,
                         help="fixed tick count (default: per-seed random)")
-    parser.add_argument("--paths", default=",".join(DEFAULT_PATHS),
-                        help="comma-separated execution paths to compare")
+    parser.add_argument("--paths", default=None,
+                        help="comma-separated execution paths to compare "
+                             "(default: the schedule's paths)")
+    parser.add_argument("--schedule", choices=("standard", "crash"),
+                        default="standard",
+                        help="'standard' compares the simulation/board/"
+                             "lifecycle paths; 'crash' kills the board at "
+                             "a seeded quiescence point and checks that "
+                             "supervised recovery replays bit-identically")
     parser.add_argument("--opt-levels", default=None,
                         help="comma-separated mid-end levels to cross-check "
                              "on the compiled path (e.g. 0,2); default: the "
@@ -51,11 +58,16 @@ def main(argv=None) -> int:
                         help="print one line per seed")
     args = parser.parse_args(argv)
 
-    paths = tuple(p.strip() for p in args.paths.split(",") if p.strip())
-    unknown = set(paths) - set(DEFAULT_PATHS)
+    if args.paths is not None:
+        paths = tuple(p.strip() for p in args.paths.split(",") if p.strip())
+    elif args.schedule == "crash":
+        paths = ("interp", "crash")
+    else:
+        paths = DEFAULT_PATHS
+    unknown = set(paths) - set(ALL_PATHS)
     if unknown:
         print(f"unknown paths: {', '.join(sorted(unknown))}; "
-              f"choose from {', '.join(DEFAULT_PATHS)}", file=sys.stderr)
+              f"choose from {', '.join(ALL_PATHS)}", file=sys.stderr)
         return 2
     opt_levels = None
     if args.opt_levels is not None:

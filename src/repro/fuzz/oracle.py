@@ -41,6 +41,11 @@ from ..verilog import ast_nodes as ast
 #: Execution paths, in comparison order; ``interp`` is the reference.
 DEFAULT_PATHS = ("interp", "compiled", "board", "lifecycle")
 
+#: All recognized paths: the defaults plus the crash-recovery schedule
+#: (``python -m repro.fuzz --schedule crash``), which is opt-in because
+#: it exercises the supervisor rather than the compiler pipeline.
+ALL_PATHS = DEFAULT_PATHS + ("crash",)
+
 #: Tiny co-resident tenant used to force coalescing/handshake traffic
 #: on the lifecycle path's first hypervisor.
 _COTENANT_SRC = """
@@ -227,6 +232,49 @@ def _run_lifecycle(program: CompiledProgram, ticks: int,
                              current.engine.snapshot(names))
 
 
+def _run_crash(program: CompiledProgram, ticks: int,
+               service: CompilerService, rng: random.Random) -> RunResult:
+    """Crash-recovery schedule: kill the board at a random quiescence
+    point and compare the supervised recovery against the reference.
+
+    The timeline is seeded: one supervised stretch with checkpoints, a
+    stretch *without* checkpoints (so recovery has real ticks to
+    replay), then board death at a tick boundary.  The supervisor must
+    quarantine, restore the last checkpoint onto the second hypervisor,
+    and replay — with ``$display`` output and architectural state
+    bit-identical to an uninterrupted run.
+    """
+    from ..hypervisor import Supervisor
+
+    hv_a = Hypervisor(DE10, compiler=service)
+    hv_b = Hypervisor(F1, compiler=service)
+    supervisor = Supervisor([hv_a, hv_b],
+                            checkpoint_every=rng.randint(2, 6))
+    tenant = supervisor.admit("fz-crash", program)
+    runtime = tenant.runtime
+    if ticks >= 4 and not runtime.finished:
+        supervisor.run("fz-crash", 1)  # first tick in software (§2.1)
+        if runtime.mode != "hardware" and not runtime.finished:
+            runtime.transition_to_hardware()
+        budget = ticks - 1
+        checkpointed = rng.randint(0, budget - 2)
+        unprotected = rng.randint(1, budget - 1 - checkpointed)
+        supervisor.run("fz-crash", checkpointed)
+        # Advance past the last checkpoint outside the supervisor's
+        # discipline, then kill the board between ticks.
+        runtime.tick(unprotected)
+        if not runtime.finished and tenant.host is not None:
+            tenant.host.board.kill()
+        supervisor.run("fz-crash", ticks - runtime.ticks)
+    else:
+        supervisor.run("fz-crash", ticks)
+    runtime = tenant.runtime  # recovery may have re-hosted the tenant
+    names = state_names(program.flat)
+    return _result_from_host("crash", runtime.host,
+                             runtime.host.display_log,
+                             runtime.engine.snapshot(names))
+
+
 # -- the oracle ------------------------------------------------------------
 
 
@@ -271,10 +319,10 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
     full pass pipeline, both against the interpreter); the board and
     lifecycle paths keep the ambient default level.
     """
-    unknown = set(paths) - set(DEFAULT_PATHS)
+    unknown = set(paths) - set(ALL_PATHS)
     if unknown:
         raise ValueError(f"unknown execution paths: {sorted(unknown)}; "
-                         f"choose from {DEFAULT_PATHS}")
+                         f"choose from {ALL_PATHS}")
     if ticks < 0:
         raise ValueError(f"ticks must be non-negative, got {ticks}")
     if service is None:
@@ -298,6 +346,9 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
                                                 service)))
         elif path == "board":
             runs.append((path, lambda: _run_board(program, ticks, service)))
+        elif path == "crash":
+            runs.append((path, lambda: _run_crash(
+                program, ticks, service, random.Random(lifecycle_seed))))
         else:
             runs.append((path, lambda: _run_lifecycle(
                 program, ticks, service, random.Random(lifecycle_seed))))

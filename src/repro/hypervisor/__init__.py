@@ -5,7 +5,9 @@ from .coalesce import CoalescedDesign, coalesce, engine_module_name
 from .scheduler import AbiSerializer, IoStream, RoundRobinIoScheduler
 from .handshake import HANDSHAKE_BANDWIDTH_BITS_S, HandshakeReport, state_safe_reprogram
 from .hypervisor import CapacityError, Hypervisor, HypervisorClient
-from .migration import MigrationReport, migrate, resume, suspend
+from .migration import MigrationReport, migrate, rehydrate, resume, suspend
+from .checkpoint import DEFAULT_RING_DEPTH, Checkpoint, CheckpointRing
+from .supervisor import RecoveryReport, Supervisor, Tenant
 
 __all__ = [
     "EngineRecord", "EngineTable",
@@ -13,5 +15,7 @@ __all__ = [
     "AbiSerializer", "IoStream", "RoundRobinIoScheduler",
     "HANDSHAKE_BANDWIDTH_BITS_S", "HandshakeReport", "state_safe_reprogram",
     "CapacityError", "Hypervisor", "HypervisorClient",
-    "MigrationReport", "migrate", "resume", "suspend",
+    "MigrationReport", "migrate", "rehydrate", "resume", "suspend",
+    "DEFAULT_RING_DEPTH", "Checkpoint", "CheckpointRing",
+    "RecoveryReport", "Supervisor", "Tenant",
 ]

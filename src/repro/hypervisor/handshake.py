@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 from ..core.pipeline import CompiledProgram
 from ..fabric.bitstream import Bitstream
 from ..fabric.board import SimulatedBoard
+from ..fabric.retry import RetryPolicy, retry_call
 
 
 @dataclass
@@ -38,10 +39,14 @@ class HandshakeReport:
     bits_restored: int = 0
     reconfig_seconds: float = 0.0
     transfer_seconds: float = 0.0
+    #: bitstream-load attempts that failed transiently and were retried
+    program_retries: int = 0
+    #: modeled backoff spent on those retries
+    retry_seconds: float = 0.0
 
     @property
     def total_seconds(self) -> float:
-        return self.reconfig_seconds + self.transfer_seconds
+        return self.reconfig_seconds + self.transfer_seconds + self.retry_seconds
 
 
 #: get/set bandwidth used for bulk state evacuation during handshakes.
@@ -53,6 +58,7 @@ def state_safe_reprogram(
     bitstream: Bitstream,
     programs: Dict[int, CompiledProgram],
     capture_sets: Optional[Dict[int, List[str]]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> HandshakeReport:
     """Execute the Figure 7 protocol against a simulated board.
 
@@ -77,8 +83,15 @@ def state_safe_reprogram(
         report.bits_saved += bits
         report.engines_paused += 1
 
-    # Step 5 complete: reprogram the device.
-    board.program(bitstream, programs)
+    # Step 5 complete: reprogram the device.  Bitstream loads can fail
+    # transiently (fault injection); program() raises before destroying
+    # the running design, so the saved state stays valid across retries.
+    _, retries, backoff = retry_call(
+        retry if retry is not None else RetryPolicy(),
+        lambda: board.program(bitstream, programs),
+    )
+    report.program_retries = retries
+    report.retry_seconds = backoff
     report.reconfig_seconds = board.device.reconfig_seconds
 
     # Reverse handshake: instances restore their state with sets.

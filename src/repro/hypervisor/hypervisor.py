@@ -25,6 +25,8 @@ from ..fabric.bitstream import Bitstream, BitstreamCompiler
 from ..fabric.board import SimulatedBoard
 from ..fabric.cache import CompilationCache
 from ..fabric.device import Device
+from ..fabric.errors import BoardDeadError, FabricError
+from ..fabric.retry import RetryPolicy
 from ..fabric.synth import SynthOptions
 from ..runtime.abi import (
     AbiChannel, BatchReply, Cont, Evaluate, Get, Message, ReadExpr,
@@ -37,8 +39,14 @@ from .handshake import HandshakeReport, state_safe_reprogram
 from .scheduler import AbiSerializer, RoundRobinIoScheduler
 
 
-class CapacityError(Exception):
-    """The device cannot host the combined design and no parent exists."""
+class CapacityError(FabricError):
+    """The device cannot host the combined design and no parent exists.
+
+    Part of the typed fabric hierarchy, but deliberately neither
+    transient nor persistent: placement rejection is an admission
+    decision, not a fault — retrying without shrinking the design is
+    pointless, and nothing needs quarantining.
+    """
 
 
 class Hypervisor:
@@ -95,6 +103,52 @@ class Hypervisor:
         self.handshakes: List[HandshakeReport] = []
         #: Engines delegated to the parent hypervisor: local id → remote id.
         self._remote: Dict[int, Tuple["Hypervisor", int]] = {}
+        #: shared retry budget for supervised channels, handshake
+        #: reprogram retries, and the supervisor's health reporting
+        self.retry = RetryPolicy()
+        #: set by :meth:`quarantine`; a quarantined hypervisor admits
+        #: nothing and services nothing — its tenants have been (or are
+        #: being) restored elsewhere from checkpoints
+        self.quarantined = False
+
+    # -- health -----------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        return not self.quarantined and not self.board.dead
+
+    def quarantine(self) -> None:
+        """Take this hypervisor out of service after a persistent fault.
+
+        Kills the board (all slot state is already lost or untrusted),
+        drops every IO stream, and flags every engine record retired so
+        a later sweep finds nothing live.  Recovery of the tenants is
+        the supervisor's job — it restores their last checkpoints onto
+        healthy fabric.
+        """
+        self.quarantined = True
+        self.board.kill()
+        self.io_scheduler.clear()
+        for rec in list(self.table.active):
+            self.table.retire(rec.engine_id)
+        self.table.sweep()
+        self.design = None
+        self._remote.clear()
+
+    def stats(self) -> Dict[str, object]:
+        """Health and traffic counters for this hypervisor."""
+        out: Dict[str, object] = {
+            "healthy": self.healthy,
+            "quarantined": self.quarantined,
+            "board_dead": self.board.dead,
+            "engines": len(self.table),
+            "reconfigurations": self.board.reconfigurations,
+            "abi_requests": self.serializer.requests,
+            "retry": self.retry.stats(),
+        }
+        if self.board.faults is not None:
+            out["faults"] = self.board.faults.stats()
+        return out
 
     # -- connections -----------------------------------------------------------
 
@@ -116,6 +170,10 @@ class Hypervisor:
     def place_subprogram(self, instance: str, domain: ProtectionDomain,
                          program: CompiledProgram) -> Placement:
         """Admit a sub-program: coalesce, compile, state-safe reprogram."""
+        if not self.healthy:
+            raise BoardDeadError(
+                f"hypervisor on {self.device.name} is quarantined"
+            )
         record = self.table.register(instance, domain, program)
         programs = {rec.engine_id: rec.program for rec in self.table.active
                     if rec.engine_id not in self._remote}
@@ -236,7 +294,8 @@ class Hypervisor:
             if rec.program.state.uses_yield:
                 capture_sets[rec.engine_id] = rec.program.state.captured_names()
         report = state_safe_reprogram(
-            self.board, bitstream, design.engine_programs, capture_sets
+            self.board, bitstream, design.engine_programs, capture_sets,
+            retry=self.retry,
         )
         self.design = design
         self.handshakes.append(report)
@@ -280,9 +339,15 @@ class Hypervisor:
                 extra = self.io_scheduler.extra_wait(engine_id)
             return latency + extra
 
-        return AbiChannel(self, engine_id, current)
+        return AbiChannel(self, engine_id, current,
+                          faults=self.board.faults, retry=self.retry,
+                          deadline_s=self.device.op_deadline_s)
 
     def handle(self, engine_id: int, message: Message):
+        if self.quarantined:
+            raise BoardDeadError(
+                f"hypervisor on {self.device.name} is quarantined"
+            )
         self.serializer.admit()
         remote = self._remote.get(engine_id)
         if remote is not None:

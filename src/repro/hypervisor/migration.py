@@ -60,6 +60,27 @@ def resume(runtime: Runtime, context: Context) -> float:
     return cost
 
 
+def rehydrate(context: Context, name: str, clock: str = "clock",
+              compiler=None, sim_backend: Optional[str] = None,
+              start_time: float = 0.0) -> Runtime:
+    """Build a fresh runtime hosting *context*, with exactly-once IO.
+
+    This is the disaster-recovery half of migration: the source runtime
+    is gone (its board died), so the destination is reconstructed from
+    the checkpoint alone — ``quiet_boot`` suppresses initial-block side
+    effects, and the host's display log is seeded from the checkpoint so
+    output emitted before the crash is neither lost nor re-emitted when
+    the supervisor replays the ticks since.
+    """
+    runtime = Runtime(context.program_source, name=name, clock=clock,
+                      compiler=compiler, sim_backend=sim_backend,
+                      quiet_boot=True)
+    runtime.sim_time = start_time
+    runtime.restore_context(context)
+    runtime.host.display_log[:] = list(context.display_log)
+    return runtime
+
+
 def migrate(source: Runtime, destination: Runtime) -> MigrationReport:
     """Move a running program between runtimes (and hence devices)."""
     bits = source.program.state.total_bits

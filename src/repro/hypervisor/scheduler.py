@@ -38,6 +38,10 @@ class RoundRobinIoScheduler:
     def unregister(self, engine_id: int) -> None:
         self._streams.pop(engine_id, None)
 
+    def clear(self) -> None:
+        """Drop every stream (board quarantine: no IO path remains)."""
+        self._streams.clear()
+
     def set_active(self, engine_id: int, active: bool) -> None:
         if engine_id in self._streams:
             self._streams[engine_id].active = active

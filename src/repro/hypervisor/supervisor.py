@@ -1,0 +1,228 @@
+"""Supervised recovery: checkpoints, quarantine, and tenant restore.
+
+The :class:`Supervisor` closes the reliability loop over a small fleet
+of hypervisors.  The layers below it already do the local work — the
+ABI channel retries transient faults with capped backoff and converts
+hangs into deadline errors; the handshake retries bitstream loads — so
+what reaches the supervisor is only what retry cannot fix: a
+:class:`~repro.fabric.errors.PersistentFabricError` (dead board,
+exhausted retry budget).  Its response is the paper's migration
+machinery pointed at disaster recovery:
+
+1. **checkpoint** every tenant at quiescence points (between logical
+   ticks), keeping a bounded :class:`~repro.hypervisor.checkpoint.CheckpointRing`
+   per engine, keyed by artifact digest so restore never recompiles;
+2. on a persistent fault, **quarantine** the afflicted hypervisor
+   (board killed, IO streams dropped, admission closed);
+3. **restore** every tenant that lived there from its latest
+   checkpoint onto a healthy hypervisor — or a software engine when
+   none remains — and replay the ticks since the checkpoint.  The
+   rebuilt host's display log is seeded from the checkpoint, so the
+   crashed run's post-checkpoint output is discarded and the replay
+   re-emits it: ``$display`` output stays exactly-once, bit-identical
+   to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..fabric.errors import FabricError, PersistentFabricError
+from ..runtime.runtime import Runtime
+from .checkpoint import DEFAULT_RING_DEPTH, Checkpoint, CheckpointRing
+from .hypervisor import Hypervisor, HypervisorClient
+from .migration import rehydrate, suspend
+
+
+@dataclass
+class Tenant:
+    """One supervised application instance."""
+
+    name: str
+    runtime: Runtime
+    client: Optional[HypervisorClient] = None
+    host: Optional[Hypervisor] = None
+    engine_id: Optional[int] = None
+    #: checkpoint-ring key; stable across re-placements (engine ids are
+    #: per-hypervisor and get reused, so they cannot key the ring)
+    key: int = 0
+    recoveries: int = 0
+
+    @property
+    def on_hardware_path(self) -> bool:
+        return self.host is not None
+
+
+@dataclass
+class RecoveryReport:
+    """Accounting for one tenant restore."""
+
+    tenant: str
+    checkpoint_ticks: int
+    crash_ticks: int        #: logical time the crashed runtime had reached
+    destination: str        #: device name, or "software"
+    restore_seconds: float  #: modeled suspend-point→running latency
+
+
+class Supervisor:
+    """Fault supervisor over a fleet of hypervisors."""
+
+    def __init__(self, hypervisors: List[Hypervisor],
+                 checkpoint_every: int = 8,
+                 ring_depth: int = DEFAULT_RING_DEPTH,
+                 software_fallback: bool = True):
+        if not hypervisors:
+            raise ValueError("a supervisor needs at least one hypervisor")
+        self.hypervisors = list(hypervisors)
+        self.checkpoint_every = checkpoint_every
+        self.ring = CheckpointRing(ring_depth)
+        self.software_fallback = software_fallback
+        self.tenants: Dict[str, Tenant] = {}
+        self.recoveries: List[RecoveryReport] = []
+        self.quarantines = 0
+        self._next_key = 1  #: ring keys survive engine-id reuse across hosts
+
+    # -- admission ------------------------------------------------------------
+
+    def _healthy_host(self, exclude=()) -> Optional[Hypervisor]:
+        for hv in self.hypervisors:
+            if hv.healthy and hv not in exclude:
+                return hv
+        return None
+
+    def admit(self, name: str, source: str, clock: str = "clock") -> Tenant:
+        """Admit a tenant: place it and take its baseline checkpoint."""
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already admitted")
+        host = self._healthy_host()
+        if host is None and not self.software_fallback:
+            raise PersistentFabricError("no healthy hypervisor to admit onto")
+        compiler = host.compiler if host is not None else None
+        runtime = Runtime(source, name=name, clock=clock, compiler=compiler,
+                          sim_backend=host.sim_backend if host else None)
+        tenant = Tenant(name=name, runtime=runtime)
+        tenant.key = self._next_key  # ring key, stable across re-placement
+        self._next_key += 1
+        if host is not None:
+            self._place(tenant, host)
+        self.tenants[name] = tenant
+        self._checkpoint(tenant)  # tick-0 baseline: recovery always has one
+        return tenant
+
+    def _place(self, tenant: Tenant, host: Hypervisor) -> None:
+        client = host.connect(tenant.name)
+        placement = tenant.runtime.attach(client)
+        tenant.client = client
+        tenant.host = host
+        tenant.engine_id = placement.engine_id
+
+    # -- checkpoint discipline ---------------------------------------------------
+
+    def _checkpoint(self, tenant: Tenant) -> Checkpoint:
+        runtime = tenant.runtime
+        t0 = runtime.sim_time
+        context = suspend(runtime)
+        checkpoint = Checkpoint(
+            engine_id=tenant.key,
+            digest=runtime.program.hardware_digest,
+            ticks=runtime.ticks,
+            sim_time=runtime.sim_time,
+            context=context,
+            save_seconds=runtime.sim_time - t0,
+        )
+        self.ring.push(checkpoint)
+        return checkpoint
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, name: str, ticks: int) -> Runtime:
+        """Drive a tenant *ticks* logical ticks with checkpoints and
+        recovery; returns the (possibly re-hosted) runtime."""
+        tenant = self.tenants[name]
+        target = tenant.runtime.ticks + ticks
+        while tenant.runtime.ticks < target and not tenant.runtime.finished:
+            chunk = min(self.checkpoint_every, target - tenant.runtime.ticks)
+            try:
+                tenant.runtime.tick(chunk)
+                self._checkpoint(tenant)
+            except FabricError as err:
+                self._recover_from(tenant, err)
+        return tenant.runtime
+
+    # -- recovery --------------------------------------------------------------
+
+    def _recover_from(self, tenant: Tenant, err: FabricError) -> None:
+        """Quarantine the faulted host and restore everyone it carried."""
+        host = tenant.host
+        if host is None:
+            # A software tenant has no board to lose; a fabric error
+            # here is protocol misuse, not something restore can fix.
+            raise err
+        if not host.quarantined:
+            self.quarantines += 1
+        host.quarantine()
+        victims = [t for t in self.tenants.values() if t.host is host]
+        destination = self._healthy_host(exclude=(host,))
+        if destination is None and not self.software_fallback:
+            raise PersistentFabricError(
+                "no healthy hypervisor left to restore onto"
+            ) from err
+        for victim in victims:
+            self._restore(victim, destination)
+
+    def _restore(self, tenant: Tenant, destination: Optional[Hypervisor]) -> None:
+        checkpoint = self.ring.latest(tenant.key)
+        if checkpoint is None:
+            raise PersistentFabricError(
+                f"tenant {tenant.name!r} has no checkpoint to restore"
+            )
+        crashed = tenant.runtime
+        compiler = (destination.compiler if destination is not None
+                    else crashed.compiler)
+        # The crashed runtime's clock already absorbed the failure's
+        # detection costs (deadline waits, backoff); recovery continues
+        # from there, never from the checkpoint's (earlier) timestamp.
+        runtime = rehydrate(checkpoint.context, name=tenant.name,
+                            clock=crashed.clock, compiler=compiler,
+                            sim_backend=(destination.sim_backend
+                                         if destination else crashed.sim_backend),
+                            start_time=max(crashed.sim_time,
+                                           checkpoint.sim_time))
+        restore_started = runtime.sim_time
+        reconfig = (destination.device.reconfig_seconds
+                    if destination is not None else 0.0)
+        runtime.sim_time += runtime.costs.restore_seconds(
+            runtime.program.state.total_bits, reconfig
+        )
+        tenant.runtime = runtime
+        tenant.client = None
+        tenant.host = None
+        tenant.engine_id = None
+        if destination is not None:
+            # Digest-keyed artifacts: this placement is a cache hit in
+            # the shared store, so no recompilation happens here.
+            self._place(tenant, destination)
+        tenant.recoveries += 1
+        self.recoveries.append(RecoveryReport(
+            tenant=tenant.name,
+            checkpoint_ticks=checkpoint.ticks,
+            crash_ticks=crashed.ticks,
+            destination=(destination.device.name
+                         if destination is not None else "software"),
+            restore_seconds=runtime.sim_time - restore_started,
+        ))
+
+    # -- reporting --------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Fleet health: the ``stats()``/``utilization()`` idiom."""
+        return {
+            "tenants": len(self.tenants),
+            "hypervisors": len(self.hypervisors),
+            "healthy_hypervisors": sum(h.healthy for h in self.hypervisors),
+            "quarantines": self.quarantines,
+            "recoveries": len(self.recoveries),
+            "checkpoints": self.ring.stats(),
+            "retry": [h.retry.stats() for h in self.hypervisors],
+        }

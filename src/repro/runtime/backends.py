@@ -18,6 +18,7 @@ from ..fabric.bitstream import Bitstream, BitstreamCompiler
 from ..fabric.board import SimulatedBoard
 from ..fabric.cache import CompilationCache
 from ..fabric.device import Device
+from ..fabric.retry import RetryPolicy, retry_call
 from ..fabric.synth import SynthOptions
 from .abi import (
     AbiChannel,
@@ -94,6 +95,9 @@ class DirectBoardBackend:
         self.cache = (cache if cache is not None
                       else CompilationCache(store=compiler.store))
         self.anti_congestion = anti_congestion
+        #: shared retry budget for supervised delivery on this backend's
+        #: channels and for bitstream-load retries in :meth:`place`
+        self.retry = RetryPolicy()
         self._next_engine_id = 1
         self._programs: Dict[int, CompiledProgram] = {}
 
@@ -118,7 +122,11 @@ class DirectBoardBackend:
         engine_id = self._next_engine_id
         self._next_engine_id += 1
         self._programs = {engine_id: program}
-        self.board.program(bitstream, self._programs)
+        # Bitstream loads can fail transiently under fault injection;
+        # program() raises before tearing down the old design, so a
+        # bounded retry is safe.
+        retry_call(self.retry,
+                   lambda: self.board.program(bitstream, self._programs))
         return Placement(
             engine_id=engine_id,
             clock_hz=bitstream.clock_hz,
@@ -133,7 +141,9 @@ class DirectBoardBackend:
         self.board.slots.pop(engine_id, None)
 
     def channel(self, engine_id: int) -> AbiChannel:
-        return AbiChannel(self, engine_id, self.device.abi_latency_s)
+        return AbiChannel(self, engine_id, self.device.abi_latency_s,
+                          faults=self.board.faults, retry=self.retry,
+                          deadline_s=self.device.op_deadline_s)
 
     # -- AbiTarget ---------------------------------------------------------------
 

@@ -102,7 +102,11 @@ class TestHardwareEngine:
         engine = hardware_engine(COUNTER)
         engine.run_batch("clock", 2)
         snap = engine.snapshot(["n"])
-        assert set(snap) == {"n"}
+        # The transform's __-prefixed bookkeeping (control state, NBA
+        # shadow queues) always rides along with a narrowed capture set
+        # so mid-schedule checkpoints replay identically.
+        assert "n" in snap
+        assert all(name == "n" or name.startswith("__") for name in snap)
 
 
 class TestParity:

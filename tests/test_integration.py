@@ -150,7 +150,12 @@ class TestQuiescenceScenario:
         first = to_hw(Runtime(program), DirectBoardBackend(F1))
         first.tick(max(2, expected // 2))
         partial = first.engine.snapshot(program.state.captured_names())
-        assert set(partial) == {"nonce", "found_nonce", "found", "target"}
+        # Architectural capture set, plus the transform's __-prefixed
+        # bookkeeping that always rides along so mid-schedule
+        # checkpoints replay identically.
+        assert {n for n in partial if not n.startswith("__")} == {
+            "nonce", "found_nonce", "found", "target"
+        }
 
         second = to_hw(Runtime(program), DirectBoardBackend(F1))
         second.engine.restore(partial)
