@@ -1,3 +1,9 @@
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # The batched (vectorized) simulation backend; everything else
+        # runs on the standard library alone.
+        "batch": ["numpy"],
+    },
+)

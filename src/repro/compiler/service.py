@@ -37,6 +37,7 @@ KIND_SOURCE = "source"      # raw-text alias → compiled program
 KIND_PROGRAM = "program"
 KIND_OPT = "opt"            # mid-end pipeline output (OptResult)
 KIND_CODEGEN = "codegen"
+KIND_BATCH = "batch"        # vectorized cohort closures (BatchedModuleCode)
 KIND_SYNTH = "synth"
 KIND_BITSTREAM = "bitstream"
 
@@ -147,6 +148,37 @@ class CompilerService:
                 module, env=env,
                 opt=self.optimize(module, env=env, digest=digest,
                                   opt_level=level, keep=keep)),
+        )
+
+    # -- vectorized (batched) code generation ------------------------------
+
+    def batch(self, module: ast.Module, env=None,
+              digest: Optional[str] = None,
+              opt_level: Optional[int] = None,
+              keep: "frozenset[str]" = frozenset()):
+        """Shareable vectorized cohort closures for *module*.
+
+        Layered on :meth:`codegen`: the scalar code artifact supplies
+        the static schedule the vector emitter licenses against, so the
+        key is the codegen key plus a ``batch`` discriminator.  Raises
+        :class:`~repro.interp.compile.batch.UnsupportedBackend` without
+        NumPy and :class:`~repro.interp.compile.batch.BatchUnsupported`
+        for modules outside the vector subset — only successful builds
+        are interned (failures are memoized cheaply per code artifact
+        by :func:`~repro.interp.compile.batch.batch_code_for`).
+        """
+        from ..interp.compile.batch import batch_code_for
+        from ..opt import pipeline_fingerprint, resolve_opt_level
+
+        level = resolve_opt_level(opt_level)
+        if digest is None:
+            digest = text_digest(print_module(module))
+        key = f"{digest}\x00{pipeline_fingerprint(level)}\x00batch"
+        return self.store.get_or_build(
+            KIND_BATCH, key,
+            lambda: batch_code_for(
+                self.codegen(module, env=env, digest=digest,
+                             opt_level=level, keep=keep)),
         )
 
     # -- synthesis ---------------------------------------------------------

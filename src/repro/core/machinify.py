@@ -97,6 +97,13 @@ class NbaSite:
       the divergence documented by the ``loop_nba_memory`` corpus
       repro, where a single shadow address latched only the last
       iteration's write.
+
+    Indexed sites additionally record a *sequence stamp* (the shared
+    ``__wseq`` counter, sampled at write time): when a base register
+    collects pending writes from more than one queued site, draining
+    per-site would apply them queue-by-queue rather than in execution
+    order, so the update state instead merge-drains all of that base's
+    indexed sites by ascending stamp.
     """
 
     id: int
@@ -109,10 +116,24 @@ class NbaSite:
     wq_data: Optional[str] = None
     wn: Optional[str] = None
     depth: int = 0
+    #: sequence stamp reg (plain indexed sites)
+    ws: Optional[str] = None
+    #: sequence stamp memory + drain cursor reg (queued sites)
+    wq_seq: Optional[str] = None
+    wc: Optional[str] = None
 
     @property
     def queued(self) -> bool:
         return self.wn is not None
+
+    @property
+    def base_name(self) -> Optional[str]:
+        """Name of the indexed target's base register, if resolvable."""
+        if isinstance(self.lhs, (ast.Index, ast.RangeSelect)) and isinstance(
+            self.lhs.base, ast.Identifier
+        ):
+            return self.lhs.base.name
+        return None
 
 
 @dataclass
@@ -162,11 +183,19 @@ class TransformResult:
         """FF bits added by the transformation's bookkeeping."""
         bits = 64  # __state + __task
         bits += len(self.guard_wires)  # latched guards
+        stamped = False
         for site in self.nba_sites:
             if site.queued:
                 bits += 32  # pending count (queue memories are decls)
+                if site.wc is not None:
+                    bits += 32  # drain cursor
             else:
                 bits += 1  # we flag (wd/wa counted via module decls)
+                if site.ws is not None:
+                    bits += 32  # sequence stamp
+            stamped = stamped or site.ws is not None or site.wq_seq is not None
+        if stamped:
+            bits += 32  # shared __wseq counter
         return bits
 
 
@@ -201,6 +230,7 @@ class _Machinifier:
         #: and get pending-update queues instead of single shadows
         self._loop_depth = 0
         self._update_loop_var: Optional[str] = None
+        self._seq_var: Optional[str] = None
 
     # -- state graph helpers ----------------------------------------------
 
@@ -291,6 +321,20 @@ class _Machinifier:
 
     # -- NBA shadows ----------------------------------------------------------------
 
+    def _seq_reg(self) -> str:
+        """The shared write-sequence counter stamping indexed NBA sites.
+
+        Stamps give the update state a total execution order across
+        sites, which the merge-drain needs when several sites target
+        one base register.  The counter resets each update state.
+        """
+        if self._seq_var is None:
+            self._seq_var = "__wseq"
+            self.new_decls.append(
+                ast.Decl("reg", self._seq_var,
+                         ast.Range(ast.Number(31), ast.Number(0))))
+        return self._seq_var
+
     def _nba_shadow_stmts(self, stmt: ast.Assign) -> List[ast.Stmt]:
         """Allocate a shadow site for one NBA; returns the inline writes."""
         site_id = len(self.nba_sites)
@@ -313,6 +357,7 @@ class _Machinifier:
             ast.Decl("reg", wd, ast.Range(ast.Number(width - 1), ast.Number(0)))
         )
         wa: Optional[str] = None
+        ws: Optional[str] = None
         out: List[ast.Stmt] = []
         if needs_addr:
             wa = f"__wa_{site_id}"
@@ -323,7 +368,16 @@ class _Machinifier:
             out.append(ast.Assign(ast.Identifier(wa), addr_expr, blocking=True))
         out.append(ast.Assign(ast.Identifier(wd), rhs, blocking=True))
         out.append(ast.Assign(ast.Identifier(we), ast.Number(1, 1), blocking=True))
-        self.nba_sites.append(NbaSite(site_id, lhs, we, wd, wa))
+        if needs_addr:
+            ws = f"__ws_{site_id}"
+            self.new_decls.append(
+                ast.Decl("reg", ws, ast.Range(ast.Number(31), ast.Number(0)))
+            )
+            seq = ast.Identifier(self._seq_reg())
+            out.append(ast.Assign(ast.Identifier(ws), seq, blocking=True))
+            out.append(ast.Assign(
+                seq, ast.Binary("+", seq, ast.Number(1, 32)), blocking=True))
+        self.nba_sites.append(NbaSite(site_id, lhs, we, wd, wa, ws=ws))
         return out
 
     def _nba_queue_stmts(self, site_id: int, lhs: ast.Expr, rhs: ast.Expr,
@@ -337,7 +391,9 @@ class _Machinifier:
         """
         wq_addr = f"__wqa_{site_id}"
         wq_data = f"__wqd_{site_id}"
+        wq_seq = f"__wqs_{site_id}"
         wn = f"__wn_{site_id}"
+        wc = f"__wc_{site_id}"
         depth = NBA_QUEUE_DEPTH
         dims = (ast.Range(ast.Number(0), ast.Number(depth - 1)),)
         self.new_decls.append(
@@ -347,22 +403,34 @@ class _Machinifier:
             ast.Decl("reg", wq_data,
                      ast.Range(ast.Number(width - 1), ast.Number(0)), dims))
         self.new_decls.append(
+            ast.Decl("reg", wq_seq,
+                     ast.Range(ast.Number(31), ast.Number(0)), dims))
+        self.new_decls.append(
             ast.Decl("reg", wn, ast.Range(ast.Number(31), ast.Number(0))))
+        self.new_decls.append(
+            ast.Decl("reg", wc, ast.Range(ast.Number(31), ast.Number(0))))
         addr_expr = lhs.index if isinstance(lhs, ast.Index) else lhs.msb
         wn_id = ast.Identifier(wn)
+        seq = ast.Identifier(self._seq_reg())
         push = ast.Block((
             ast.Assign(ast.Index(ast.Identifier(wq_addr), wn_id),
                        addr_expr, blocking=True),
             ast.Assign(ast.Index(ast.Identifier(wq_data), wn_id),
                        rhs, blocking=True),
+            ast.Assign(ast.Index(ast.Identifier(wq_seq), wn_id),
+                       seq, blocking=True),
             ast.Assign(wn_id, ast.Binary("+", wn_id, ast.Number(1, 32)),
+                       blocking=True),
+            # dropped (saturated) writes consume no stamp, so the
+            # increment stays inside the capacity guard
+            ast.Assign(seq, ast.Binary("+", seq, ast.Number(1, 32)),
                        blocking=True),
         ))
         guarded = ast.If(
             ast.Binary("<", wn_id, ast.Number(depth, 32)), push, None)
         self.nba_sites.append(NbaSite(
             site_id, lhs, we="", wd="", wq_addr=wq_addr, wq_data=wq_data,
-            wn=wn, depth=depth))
+            wn=wn, depth=depth, wq_seq=wq_seq, wc=wc))
         return [guarded]
 
     def _lower_nba(self, stmt: ast.Assign) -> None:
@@ -430,10 +498,100 @@ class _Machinifier:
                          ast.Range(ast.Number(31), ast.Number(0))))
         return self._update_loop_var
 
+    @staticmethod
+    def _retarget(site: NbaSite, addr: ast.Expr) -> ast.Expr:
+        """*site*'s lhs with its address replaced by *addr*."""
+        target = site.lhs
+        if isinstance(target, ast.Index):
+            return ast.Index(target.base, addr)
+        return ast.RangeSelect(target.base, addr, target.lsb, target.mode)
+
+    def _merged_drain_stmts(self, sites: List[NbaSite]) -> List[ast.Stmt]:
+        """Drain several indexed sites on one base in execution order.
+
+        Per-site replay applies writes queue-by-queue; with two or more
+        queued sites on one memory that reorders writes across sites
+        (all of site A's iterations land before any of site B's, even
+        when B's iteration k executed before A's iteration k+1).  The
+        merge scans the write-sequence stamps ``0 .. __wseq-1`` and
+        applies whichever member's next pending write carries the
+        current stamp — stamps are unique, so at most one matches.
+        """
+        out: List[ast.Stmt] = []
+        j = ast.Identifier(self._update_loop_index())
+        seq = ast.Identifier(self._seq_reg())
+        body: List[ast.Stmt] = []
+        for site in sites:
+            if site.queued:
+                wc = ast.Identifier(site.wc)
+                wn = ast.Identifier(site.wn)
+                out.append(ast.Assign(wc, ast.Number(0, 32), blocking=True))
+                cond = ast.Binary(
+                    "&&",
+                    ast.Binary("<", wc, wn),
+                    ast.Binary(
+                        "==", ast.Index(ast.Identifier(site.wq_seq), wc), j),
+                )
+                apply_write = ast.Block((
+                    ast.Assign(
+                        self._retarget(
+                            site, ast.Index(ast.Identifier(site.wq_addr), wc)),
+                        ast.Index(ast.Identifier(site.wq_data), wc),
+                        blocking=True),
+                    ast.Assign(wc, ast.Binary("+", wc, ast.Number(1, 32)),
+                               blocking=True),
+                ))
+            else:
+                we = ast.Identifier(site.we)
+                cond = ast.Binary(
+                    "&&", we,
+                    ast.Binary("==", ast.Identifier(site.ws), j))
+                apply_write = ast.Block((
+                    ast.Assign(self._retarget(site, ast.Identifier(site.wa)),
+                               ast.Identifier(site.wd), blocking=True),
+                    ast.Assign(we, ast.Number(0, 1), blocking=True),
+                ))
+            body.append(ast.If(cond, apply_write, None))
+        out.append(ast.For(
+            ast.Assign(j, ast.Number(0, 32), blocking=True),
+            ast.Binary("<", j, seq),
+            ast.Assign(j, ast.Binary("+", j, ast.Number(1, 32)),
+                       blocking=True),
+            ast.Block(tuple(body)),
+        ))
+        for site in sites:
+            if site.queued:
+                out.append(ast.Assign(ast.Identifier(site.wn),
+                                      ast.Number(0, 32), blocking=True))
+        return out
+
     def _update_state_stmts(self) -> List[ast.Stmt]:
         """The latch logic of the dedicated update state."""
         stmts: List[ast.Stmt] = []
+        # A base register written by two or more queued sites needs its
+        # indexed sites drained together in stamp order; everything
+        # else keeps the cheaper per-site replay.
+        queued_counts: Dict[str, int] = {}
         for site in self.nba_sites:
+            base = site.base_name
+            if site.queued and base is not None:
+                queued_counts[base] = queued_counts.get(base, 0) + 1
+        merged: Dict[str, List[NbaSite]] = {}
+        for site in self.nba_sites:
+            base = site.base_name
+            if base is None or queued_counts.get(base, 0) < 2:
+                continue
+            if site.queued or (site.wa is not None and site.ws is not None):
+                merged.setdefault(base, []).append(site)
+        emitted: set = set()
+        for site in self.nba_sites:
+            base = site.base_name
+            if base in merged and site in merged[base]:
+                # merged groups drain at their first member's position
+                if base not in emitted:
+                    emitted.add(base)
+                    stmts.extend(self._merged_drain_stmts(merged[base]))
+                continue
             if site.queued:
                 # Replay the site's pending-update queue in execution
                 # order, then reset the count for the next tick.
@@ -471,6 +629,9 @@ class _Machinifier:
                 )
             )
             stmts.append(ast.If(ast.Identifier(site.we), latch, None))
+        if self._seq_var is not None:
+            stmts.append(ast.Assign(ast.Identifier(self._seq_var),
+                                    ast.Number(0, 32), blocking=True))
         return stmts
 
     # -- statement lowering -------------------------------------------------------------

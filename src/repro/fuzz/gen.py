@@ -264,11 +264,10 @@ class ModuleGenerator:
         if ctx.mem is not None and ctx.owns_mem and ctx.mem_nba_open():
             # Looped memory NBAs are legal since the transform gave
             # indexed sites pending-update queues (see
-            # tests/corpus/loop_nba_memory.v, formerly an xfail).  One
-            # site per loop body: the per-site queues preserve each
-            # site's own write order, but two sites colliding on one
-            # memory inside a loop would still apply in site order
-            # rather than interleaved execution order.
+            # tests/corpus/loop_nba_memory.v, formerly an xfail), and
+            # multiple sites colliding on one memory are legal since
+            # the update state merge-drains stamped sites in execution
+            # order rather than site order.
             options.append((w.w_mem_write, "mem_write"))
         if depth > 0:
             options += [(w.w_if, "if"), (w.w_case, "case"), (w.w_for, "for")]
@@ -344,10 +343,10 @@ class ModuleGenerator:
                   extra: Tuple[_Sig, ...]) -> "_SeqContext":
         clone = ctx.with_pool(ctx.read_pool + list(extra))
         clone.in_loop = True
-        # One memory-NBA site per loop body (shared across the body's
-        # statements): per-site pending queues keep each site's own
-        # order, not the interleave between two colliding sites.
-        clone.mem_nba_budget = [1]
+        # Up to two memory-NBA sites per loop body (shared across the
+        # body's statements): colliding sites exercise the stamped
+        # merge-drain, which replays them in execution order.
+        clone.mem_nba_budget = [2]
         return clone
 
     def _seq_block_body(self, ctx: "_SeqContext", depth: int,

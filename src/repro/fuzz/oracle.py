@@ -5,6 +5,9 @@ compares the observable behaviour bit-for-bit:
 
 * ``interp`` — the reference tree-walking interpreter (the oracle);
 * ``compiled`` — the compile-to-closures simulation backend;
+* ``batched`` — the NumPy-vectorized cohort backend (degenerate N=1
+  cohort; silently the scalar compiled engine for modules outside the
+  vector subset), a default lane whenever NumPy is importable;
 * ``board`` — a :class:`~repro.runtime.runtime.Runtime` that JITs onto
   a single-tenant :class:`~repro.runtime.backends.DirectBoardBackend`
   after its first software tick, exercising the §3 transform, the
@@ -35,16 +38,24 @@ from ..fabric import DE10, F1
 from ..hypervisor import Hypervisor
 from ..hypervisor.migration import migrate, resume, suspend
 from ..interp import Simulator, TaskHost
+from ..interp.compile.batch import HAVE_NUMPY
 from ..runtime import DirectBoardBackend, Runtime
 from ..verilog import ast_nodes as ast
 
 #: Execution paths, in comparison order; ``interp`` is the reference.
+#: The vectorized ``batched`` lane (bit-for-bit against the same
+#: oracle, silently exercising the scalar fallback for unlicensed
+#: modules) joins the defaults whenever NumPy is importable.
 DEFAULT_PATHS = ("interp", "compiled", "board", "lifecycle")
+if HAVE_NUMPY:
+    DEFAULT_PATHS = DEFAULT_PATHS + ("batched",)
 
-#: All recognized paths: the defaults plus the crash-recovery schedule
-#: (``python -m repro.fuzz --schedule crash``), which is opt-in because
-#: it exercises the supervisor rather than the compiler pipeline.
-ALL_PATHS = DEFAULT_PATHS + ("crash",)
+#: All recognized paths: the defaults plus the batched lane (opt-in
+#: without NumPy, where selecting it raises ``UnsupportedBackend``)
+#: and the crash-recovery schedule (``python -m repro.fuzz --schedule
+#: crash``), which is opt-in because it exercises the supervisor
+#: rather than the compiler pipeline.
+ALL_PATHS = ("interp", "compiled", "board", "lifecycle", "batched", "crash")
 
 #: Tiny co-resident tenant used to force coalescing/handshake traffic
 #: on the lifecycle path's first hypervisor.
@@ -134,7 +145,9 @@ def _run_sim(program: CompiledProgram, ticks: int, backend: str,
              path_name: Optional[str] = None) -> RunResult:
     host = TaskHost()
     code = None
-    if backend == "compiled":
+    if backend in ("compiled", "batched"):
+        # The batched backend licenses (or falls back) against the
+        # same shared scalar artifact the compiled backend runs.
         code = service.codegen(program.flat, env=program.env,
                                digest=program.digest, opt_level=opt_level)
     sim = Simulator(program.flat, host, env=program.env,
@@ -343,6 +356,9 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
                     opt_level=lv, path_name=nm)))
         elif path == "compiled":
             runs.append((path, lambda: _run_sim(program, ticks, "compiled",
+                                                service)))
+        elif path == "batched":
+            runs.append((path, lambda: _run_sim(program, ticks, "batched",
                                                 service)))
         elif path == "board":
             runs.append((path, lambda: _run_board(program, ticks, service)))

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Tuple
 from ..amorphos.hull import Hull, ProtectionError
 from ..amorphos.morphlet import ProtectionDomain
 from ..compiler.artifacts import ArtifactStore
-from ..compiler.service import CompilerService
+from ..compiler.service import CompilerService, KIND_BATCH
 from ..core.pipeline import CompiledProgram
 from ..fabric.bitstream import Bitstream, BitstreamCompiler
 from ..fabric.board import SimulatedBoard
@@ -62,6 +62,17 @@ class Hypervisor:
                  artifacts: Optional[ArtifactStore] = None,
                  opt_level: Optional[int] = None):
         self.device = device
+        if sim_backend == "batched":
+            from ..interp.compile.batch import HAVE_NUMPY
+            if not HAVE_NUMPY:
+                # Graceful degradation: without NumPy the batched
+                # backend cannot exist, so every tenant this hypervisor
+                # boots falls back to the scalar compiled engine (the
+                # two run bit-identically; only the dispatch amortization
+                # is lost).  Direct Simulator(backend="batched") calls
+                # still raise UnsupportedBackend — the hypervisor is the
+                # policy layer, so the fallback lives here.
+                sim_backend = "compiled"
         self.sim_backend = sim_backend
         #: mid-end optimization level for every tenant slot this
         #: hypervisor programs (None = ambient REPRO_OPT_LEVEL)
@@ -137,6 +148,7 @@ class Hypervisor:
 
     def stats(self) -> Dict[str, object]:
         """Health and traffic counters for this hypervisor."""
+        batch = self.artifacts.stats(KIND_BATCH)
         out: Dict[str, object] = {
             "healthy": self.healthy,
             "quarantined": self.quarantined,
@@ -145,6 +157,11 @@ class Hypervisor:
             "reconfigurations": self.board.reconfigurations,
             "abi_requests": self.serializer.requests,
             "retry": self.retry.stats(),
+            "batch_artifacts": {
+                "entries": self.artifacts.count(KIND_BATCH),
+                "hits": batch.hits,
+                "misses": batch.misses,
+            },
         }
         if self.board.faults is not None:
             out["faults"] = self.board.faults.stats()

@@ -29,6 +29,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..fabric.errors import FabricError, PersistentFabricError
+from ..runtime.cohort import (
+    BatchUnsupported, CohortEngine, CohortLaneEngine, UnsupportedBackend,
+)
+from ..runtime.engine import SoftwareEngine
 from ..runtime.runtime import Runtime
 from .checkpoint import DEFAULT_RING_DEPTH, Checkpoint, CheckpointRing
 from .hypervisor import Hypervisor, HypervisorClient
@@ -82,6 +86,12 @@ class Supervisor:
         self.recoveries: List[RecoveryReport] = []
         self.quarantines = 0
         self._next_key = 1  #: ring keys survive engine-id reuse across hosts
+        #: live vector cohorts (same-digest software tenants, §batched)
+        self.cohorts: List[CohortEngine] = []
+        self.cohorts_formed = 0
+        #: counters accumulated from dissolved cohorts
+        self._cohort_divergence = 0
+        self._cohort_vector_ticks = 0
 
     # -- admission ------------------------------------------------------------
 
@@ -91,16 +101,27 @@ class Supervisor:
                 return hv
         return None
 
-    def admit(self, name: str, source: str, clock: str = "clock") -> Tenant:
-        """Admit a tenant: place it and take its baseline checkpoint."""
+    def admit(self, name: str, source: str, clock: str = "clock",
+              software: bool = False) -> Tenant:
+        """Admit a tenant: place it and take its baseline checkpoint.
+
+        With *software* set the tenant is never placed on fabric: it
+        runs on a software engine under the fleet's lead compiler (so
+        same-digest tenants share artifacts) — the shape that cohort
+        scheduling (:meth:`run_all`) advances as vector dispatches.
+        """
         if name in self.tenants:
             raise ValueError(f"tenant {name!r} already admitted")
-        host = self._healthy_host()
-        if host is None and not self.software_fallback:
+        host = None if software else self._healthy_host()
+        if host is None and not (software or self.software_fallback):
             raise PersistentFabricError("no healthy hypervisor to admit onto")
-        compiler = host.compiler if host is not None else None
+        lead = self.hypervisors[0]
+        compiler = (host.compiler if host is not None
+                    else lead.compiler if software else None)
+        backend = (host.sim_backend if host is not None
+                   else lead.sim_backend if software else None)
         runtime = Runtime(source, name=name, clock=clock, compiler=compiler,
-                          sim_backend=host.sim_backend if host else None)
+                          sim_backend=backend)
         tenant = Tenant(name=name, runtime=runtime)
         tenant.key = self._next_key  # ring key, stable across re-placement
         self._next_key += 1
@@ -149,6 +170,150 @@ class Supervisor:
             except FabricError as err:
                 self._recover_from(tenant, err)
         return tenant.runtime
+
+    # -- cohort scheduling (batched backend) -----------------------------------
+
+    def form_cohorts(self, min_size: int = 2) -> int:
+        """Group same-digest software tenants into vector cohorts.
+
+        Formation happens at a quiescence boundary (between logical
+        ticks): each member's scalar state is snapshot into a cohort
+        lane and its runtime's engine swapped for the lane engine —
+        ``Runtime.tick`` then drives the whole cohort through tick
+        banking.  Programs outside the vector subset (or a missing
+        NumPy) leave their group on scalar engines.  Returns the
+        number of cohorts formed.
+        """
+        groups: Dict[str, List[Tenant]] = {}
+        for tenant in self.tenants.values():
+            runtime = tenant.runtime
+            if (runtime.backend is not None or runtime.finished
+                    or runtime.engine.kind != "software"
+                    or isinstance(runtime.engine, CohortLaneEngine)):
+                continue
+            groups.setdefault(runtime.program.digest, []).append(tenant)
+        formed = 0
+        for members in groups.values():
+            if len(members) < min_size:
+                continue
+            lead = members[0].runtime
+            try:
+                engine = CohortEngine(lead.program, compiler=lead.compiler,
+                                      opt_level=lead.opt_level)
+            except (BatchUnsupported, UnsupportedBackend):
+                continue
+            for tenant in members:
+                runtime = tenant.runtime
+                state = runtime.engine.snapshot()
+                member = engine.admit(runtime.host, state=state)
+                # Engine snapshots carry no $time; copy it across so a
+                # formed tenant is indistinguishable from a scalar run.
+                member.time = runtime.engine.sim.time
+                runtime.engine = member
+            self.cohorts.append(engine)
+            self.cohorts_formed += 1
+            formed += 1
+        return formed
+
+    def dissolve_cohorts(self) -> None:
+        """Extract every cohort member back onto a scalar engine."""
+        for tenant in self.tenants.values():
+            if isinstance(tenant.runtime.engine, CohortLaneEngine):
+                self._extract_tenant(tenant)
+        for engine in self.cohorts:
+            self._cohort_divergence += engine.divergence
+            self._cohort_vector_ticks += engine.vector_ticks
+        self.cohorts = []
+
+    def _extract_tenant(self, tenant: Tenant) -> None:
+        """One tenant's lane → a scalar :class:`SoftwareEngine`.
+
+        The replacement boots quietly (its initial blocks already ran
+        when the tenant started) and restores through the simulator's
+        ``restore_state`` contract — edge re-detection suppressed, so a
+        lane captured mid-``$finish`` tick (clock still high) does not
+        replay the finishing edge into the fresh engine.
+        """
+        runtime = tenant.runtime
+        lane_engine = runtime.engine
+        self._drain_banked(runtime)
+        lane_time = lane_engine.time
+        state = lane_engine.engine.detach(lane_engine)
+        engine = SoftwareEngine(runtime.program, runtime.host,
+                                backend=runtime.sim_backend,
+                                compiler=runtime.compiler,
+                                quiet_init=True,
+                                opt_level=runtime.opt_level)
+        engine.sim.restore_state({
+            "store": state,
+            "vfs": runtime.host.vfs.snapshot(),
+            "time": lane_time,
+        })
+        engine.sim.step()
+        runtime.engine = engine
+
+    def _drain_banked(self, runtime: Runtime) -> int:
+        """Settle a finished lane's un-consumed banked ticks.
+
+        A lane that ``$finish``es during another lane's vector dispatch
+        holds banked ticks its runtime will never consume (the tick
+        loop exits on ``finished``).  Those banked entries are exactly
+        the ticks a scalar run *would* have executed before stopping,
+        so folding them into the runtime's counters reproduces the
+        scalar accounting bit-for-bit.
+        """
+        engine = runtime.engine
+        if not isinstance(engine, CohortLaneEngine) or not engine._banked:
+            return 0
+        if not runtime.finished:
+            raise PersistentFabricError(
+                f"runtime {runtime.name!r} holds banked ticks while "
+                "unfinished: cohort members must be driven in lockstep"
+            )
+        drained = len(engine._banked)
+        runtime.sim_time += sum(engine._banked)
+        runtime.ticks += drained
+        engine._banked.clear()
+        return drained
+
+    def run_all(self, ticks: int, form: bool = True, min_size: int = 2) -> None:
+        """Drive every tenant *ticks* logical ticks in lockstep.
+
+        Same-digest software tenants are formed into cohorts first (at
+        the quiescence boundary) and advance one vector dispatch per
+        tick; everyone else runs scalar.  Checkpoints land every
+        ``checkpoint_every`` ticks as in :meth:`run`, banked ticks are
+        drained at each boundary so the checkpoints stay consistent,
+        and cohorts are dissolved back onto scalar engines on exit —
+        faults and recovery therefore see only ordinary engines.
+        """
+        if form:
+            self.form_cohorts(min_size=min_size)
+        try:
+            targets = {name: tenant.runtime.ticks + ticks
+                       for name, tenant in self.tenants.items()}
+            progressed = True
+            while progressed:
+                progressed = False
+                for name, tenant in self.tenants.items():
+                    runtime = tenant.runtime
+                    if runtime.finished:
+                        if self._drain_banked(runtime):
+                            self._checkpoint(tenant)
+                        continue
+                    remaining = targets[name] - runtime.ticks
+                    if remaining <= 0:
+                        continue
+                    chunk = min(self.checkpoint_every, remaining)
+                    try:
+                        runtime.tick(chunk)
+                        self._drain_banked(runtime)
+                        self._checkpoint(tenant)
+                    except FabricError as err:
+                        self._recover_from(tenant, err)
+                    progressed = True
+        finally:
+            self.dissolve_cohorts()
 
     # -- recovery --------------------------------------------------------------
 
@@ -225,4 +390,13 @@ class Supervisor:
             "recoveries": len(self.recoveries),
             "checkpoints": self.ring.stats(),
             "retry": [h.retry.stats() for h in self.hypervisors],
+            "cohorts": {
+                "active": len(self.cohorts),
+                "formed": self.cohorts_formed,
+                "sizes": [engine.size for engine in self.cohorts],
+                "lane_divergence": self._cohort_divergence + sum(
+                    engine.divergence for engine in self.cohorts),
+                "vector_ticks": self._cohort_vector_ticks + sum(
+                    engine.vector_ticks for engine in self.cohorts),
+            },
         }

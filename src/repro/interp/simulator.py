@@ -589,4 +589,11 @@ def Simulator(module: ast.Module, host: Optional[TaskHost] = None,
         from .compile.simulator import CompiledSimulator
 
         return CompiledSimulator(module, host, env, code=code)
+    if choice == "batched":
+        # Vectorized cohort backend (single-lane facade here); raises
+        # UnsupportedBackend without NumPy and silently falls back to
+        # the scalar compiled engine for unlicensed modules.
+        from .compile.batch import batched_simulator
+
+        return batched_simulator(module, host, env=env, code=code)
     raise ValueError(f"unknown simulation backend {choice!r}")

@@ -10,6 +10,7 @@ from .engine import (
     SW_SECONDS_PER_STMT, SW_SECONDS_PER_TICK,
 )
 from .backends import DirectBoardBackend, Placement, synth_options_for
+from .cohort import CohortEngine, CohortError, CohortLaneEngine
 from .jit import AdaptiveRefinement, TransitionCosts
 from .runtime import Context, Runtime, RuntimeError_, TelemetryEvent
 
@@ -21,6 +22,7 @@ __all__ = [
     "Engine", "HardwareEngine", "SoftwareEngine", "TickStats",
     "SW_SECONDS_PER_STMT", "SW_SECONDS_PER_TICK",
     "DirectBoardBackend", "Placement", "synth_options_for",
+    "CohortEngine", "CohortError", "CohortLaneEngine",
     "AdaptiveRefinement", "TransitionCosts",
     "Context", "Runtime", "RuntimeError_", "TelemetryEvent",
 ]

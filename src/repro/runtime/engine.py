@@ -95,10 +95,12 @@ class SoftwareEngine(Engine):
         self.host = host
         self.backend = backend
         code = None
-        if resolve_backend(backend) == "compiled":
+        if resolve_backend(backend) in ("compiled", "batched"):
             # The artifact is keyed by (digest, pipeline fingerprint):
             # engines of one program at one optimization level share
             # one optimized code object, across instances and tenants.
+            # The batched backend licenses (or falls back) against the
+            # same scalar code artifact.
             service = compiler if compiler is not None else default_service()
             code = service.codegen(program.flat, env=program.env,
                                    digest=program.digest,
