@@ -208,6 +208,28 @@ class CompilerService:
         """Aggregate (or per-kind) statistics of the backing store."""
         return self.store.stats(kind)
 
+    def warmth(self, digest: str,
+               opt_level: Optional[int] = None) -> "Dict[str, bool]":
+        """Which pipeline stages are already interned for *digest*.
+
+        A stats-free probe (:meth:`ArtifactStore.peek`) so placement
+        policy can ask "would this program warm-start here?" without
+        polluting the hit/miss counters the experiments report.  The
+        serving layer's fleet balancer scores candidate hosts by how
+        deep their store's artifact chain already reaches — a host whose
+        service holds the codegen (or batch) artifact starts a
+        same-digest tenant with zero rebuild.
+        """
+        from ..opt import pipeline_fingerprint, resolve_opt_level
+
+        level = resolve_opt_level(opt_level)
+        staged = f"{digest}\x00{pipeline_fingerprint(level)}"
+        return {
+            "opt": self.store.peek(KIND_OPT, staged) is not None,
+            "codegen": self.store.peek(KIND_CODEGEN, staged) is not None,
+            "batch": self.store.peek(KIND_BATCH, staged + "\x00batch") is not None,
+        }
+
 
 def default_service() -> CompilerService:
     """The service un-plumbed call sites get.

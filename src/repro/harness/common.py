@@ -94,6 +94,87 @@ def sw_profile(name: str, ticks: int = 8) -> SwProfile:
     return profile
 
 
+#: default serve-traffic design mix: weight per design family
+DEFAULT_SERVE_MIX: Tuple[Tuple[str, float], ...] = (
+    ("mips32", 2.0), ("bitcoin", 1.0), ("fuzz", 5.0),
+)
+
+#: default priority mix for generated arrivals
+DEFAULT_PRIORITY_MIX: Tuple[Tuple[str, float], ...] = (
+    ("high", 1.0), ("normal", 3.0), ("low", 2.0),
+)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One tenant arrival in a generated trace."""
+
+    at: float        #: offset from trace start, seconds
+    name: str        #: unique job name within the trace
+    design: str      #: design family ("mips32", "bitcoin", "fuzz-<seed>")
+    source: str      #: Verilog text
+    ticks: int       #: tick budget for the job
+    priority: str
+    tenant: str      #: submitting principal
+
+
+def arrival_trace(seed: int, n: int, rate_hz: float = 50.0,
+                  mix: Tuple[Tuple[str, float], ...] = DEFAULT_SERVE_MIX,
+                  priority_mix: Tuple[Tuple[str, float], ...] = DEFAULT_PRIORITY_MIX,
+                  tenants: int = 4, fuzz_pool: int = 6,
+                  ticks_range: Tuple[int, int] = (8, 48)) -> List[Arrival]:
+    """A reproducible Poisson arrival trace over a weighted design mix.
+
+    Inter-arrival gaps are exponential at *rate_hz*; designs are drawn
+    from *mix* (``"fuzz"`` expands to a pool of *fuzz_pool* distinct
+    grammar-generated smalls, so the trace has the few-designs ×
+    many-instances shape the artifact store and the batched backend
+    exploit).  Everything — gaps, designs, priorities, tick budgets,
+    principals — comes from one ``random.Random(seed)``, so the serve
+    benchmark and the serve tests replay identical load by seed.
+    """
+    import random
+
+    rng = random.Random(seed)
+    sources: Dict[str, str] = {
+        "mips32": mips32.source(imem_words=64, dmem_words=64),
+        "bitcoin": bitcoin.source(b"serve-trace".ljust(32, b"\0"), target=1),
+    }
+    fuzz_designs: List[str] = []
+    if any(name == "fuzz" for name, _ in mix):
+        from ..fuzz.gen import GrammarWeights, generate
+
+        weights = GrammarWeights(seq_blocks=(1, 1), seq_regs=(2, 3),
+                                 temps_per_block=(0, 1), comb_regs=(0, 1),
+                                 wires=(1, 2), stmts_per_block=(2, 3),
+                                 memory_prob=0.0, initial_prob=0.5,
+                                 finish_prob=0.0)
+        for i in range(fuzz_pool):
+            label = f"fuzz-{i}"
+            sources[label] = generate(seed * 1000 + i, weights).source
+            fuzz_designs.append(label)
+    names = [name for name, _ in mix]
+    design_weights = [w for _, w in mix]
+    prio_names = [name for name, _ in priority_mix]
+    prio_weights = [w for _, w in priority_mix]
+    trace: List[Arrival] = []
+    at = 0.0
+    for i in range(n):
+        at += rng.expovariate(rate_hz)
+        family = rng.choices(names, weights=design_weights)[0]
+        design = rng.choice(fuzz_designs) if family == "fuzz" else family
+        trace.append(Arrival(
+            at=at,
+            name=f"job-{seed}-{i}",
+            design=design,
+            source=sources[design],
+            ticks=rng.randrange(ticks_range[0], ticks_range[1] + 1),
+            priority=rng.choices(prio_names, weights=prio_weights)[0],
+            tenant=f"tenant-{rng.randrange(tenants)}",
+        ))
+    return trace
+
+
 @dataclass
 class ExperimentResult:
     """One regenerated table/figure: series and/or rows plus notes."""

@@ -2,20 +2,24 @@
 
 from .engine_table import EngineRecord, EngineTable
 from .coalesce import CoalescedDesign, coalesce, engine_module_name
-from .scheduler import AbiSerializer, IoStream, RoundRobinIoScheduler
+from .scheduler import (
+    AbiSerializer, DeficitRoundRobin, IoStream, RoundRobinIoScheduler,
+)
 from .handshake import HANDSHAKE_BANDWIDTH_BITS_S, HandshakeReport, state_safe_reprogram
 from .hypervisor import CapacityError, Hypervisor, HypervisorClient
 from .migration import MigrationReport, migrate, rehydrate, resume, suspend
 from .checkpoint import DEFAULT_RING_DEPTH, Checkpoint, CheckpointRing
 from .supervisor import RecoveryReport, Supervisor, Tenant
+from .telemetry import artifact_snapshot, telemetry_snapshot
 
 __all__ = [
     "EngineRecord", "EngineTable",
     "CoalescedDesign", "coalesce", "engine_module_name",
-    "AbiSerializer", "IoStream", "RoundRobinIoScheduler",
+    "AbiSerializer", "DeficitRoundRobin", "IoStream", "RoundRobinIoScheduler",
     "HANDSHAKE_BANDWIDTH_BITS_S", "HandshakeReport", "state_safe_reprogram",
     "CapacityError", "Hypervisor", "HypervisorClient",
     "MigrationReport", "migrate", "rehydrate", "resume", "suspend",
     "DEFAULT_RING_DEPTH", "Checkpoint", "CheckpointRing",
     "RecoveryReport", "Supervisor", "Tenant",
+    "artifact_snapshot", "telemetry_snapshot",
 ]

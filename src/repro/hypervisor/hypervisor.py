@@ -148,7 +148,8 @@ class Hypervisor:
 
     def stats(self) -> Dict[str, object]:
         """Health and traffic counters for this hypervisor."""
-        batch = self.artifacts.stats(KIND_BATCH)
+        from .telemetry import artifact_snapshot
+
         out: Dict[str, object] = {
             "healthy": self.healthy,
             "quarantined": self.quarantined,
@@ -157,11 +158,8 @@ class Hypervisor:
             "reconfigurations": self.board.reconfigurations,
             "abi_requests": self.serializer.requests,
             "retry": self.retry.stats(),
-            "batch_artifacts": {
-                "entries": self.artifacts.count(KIND_BATCH),
-                "hits": batch.hits,
-                "misses": batch.misses,
-            },
+            "batch_artifacts": artifact_snapshot(
+                self.artifacts, kinds=(KIND_BATCH,))[KIND_BATCH],
         }
         if self.board.faults is not None:
             out["faults"] = self.board.faults.stats()

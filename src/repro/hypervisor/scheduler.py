@@ -93,3 +93,143 @@ class AbiSerializer:
         self.requests += 1
         self.busy_seconds += self.service_seconds
         return self.service_seconds
+
+
+@dataclass
+class _DrrClass:
+    """One priority class's queue and deficit counter."""
+
+    name: str
+    weight: float
+    deficit: float = 0.0
+    queue: List[object] = field(default_factory=list)
+
+
+class DeficitRoundRobin:
+    """Deficit round robin over weighted priority classes.
+
+    The serving layer's fair-share slicer: each class earns
+    ``weight * quantum`` tick credit per round and spends it driving the
+    item at the head of its queue; unspent credit carries over, so
+    long-run tick shares converge on the weight ratio regardless of how
+    unevenly items consume their budgets.  Preemption stays cooperative
+    — the caller runs an item for at most the granted budget, then
+    either retires it or re-queues it — which is exactly the
+    preempt-only-at-quiescence discipline the suspend/resume machinery
+    requires.
+
+    The structure is textbook DRR (Shreedhar & Varghese) with ticks in
+    place of bytes: ``next_turn`` pops the head of the current class
+    when its deficit covers at least one tick, otherwise banks the
+    credit and moves on.  A class's deficit resets to zero whenever its
+    queue empties, so idle classes cannot hoard credit and starve the
+    backlog later.
+    """
+
+    def __init__(self, quantum: int = 32,
+                 classes: Optional[Dict[str, float]] = None):
+        if quantum < 1:
+            raise ValueError("quantum must be at least one tick")
+        self.quantum = quantum
+        self._classes: Dict[str, _DrrClass] = {}
+        self._order: List[str] = []
+        self._cursor = 0
+        #: whether the class at the cursor already earned this round's credit
+        self._credited = False
+        self.turns = 0
+        self.rounds = 0
+        for name, weight in (classes or {}).items():
+            self.add_class(name, weight)
+
+    def add_class(self, name: str, weight: float = 1.0) -> None:
+        if weight <= 0:
+            raise ValueError(f"class {name!r} needs a positive weight")
+        if name not in self._classes:
+            self._classes[name] = _DrrClass(name, weight)
+            self._order.append(name)
+        else:
+            self._classes[name].weight = weight
+
+    def enqueue(self, name: str, item: object) -> None:
+        """Append *item* to class *name* (auto-registered at weight 1)."""
+        if name not in self._classes:
+            self.add_class(name)
+        self._classes[name].queue.append(item)
+
+    def requeue(self, name: str, item: object) -> None:
+        """Return a preempted item to the tail of its class queue."""
+        self.enqueue(name, item)
+
+    def withdraw(self, name: str, item: object) -> bool:
+        """Remove a queued item (cancellation); False if not queued."""
+        cls = self._classes.get(name)
+        if cls is None or item not in cls.queue:
+            return False
+        cls.queue.remove(item)
+        if not cls.queue:
+            cls.deficit = 0.0
+        return True
+
+    @property
+    def backlog(self) -> int:
+        return sum(len(c.queue) for c in self._classes.values())
+
+    def next_turn(self) -> Optional[Tuple[str, object, int]]:
+        """Pop the next item to run: ``(class, item, tick_budget)``.
+
+        The budget is the class's accumulated deficit, floored at one
+        tick so a class whose weighted quantum rounds below one still
+        makes progress.  The item is *not* auto-requeued: the caller
+        charges actual consumption via :meth:`charge` and re-queues the
+        item itself if it was preempted rather than retired.
+        """
+        if not self.backlog:
+            return None
+        scanned = 0
+        while scanned < 2 * len(self._order):
+            name = self._order[self._cursor % len(self._order)]
+            cls = self._classes[name]
+            if not cls.queue:
+                cls.deficit = 0.0
+                self._advance()
+                scanned += 1
+                continue
+            if not self._credited:
+                cls.deficit += cls.weight * self.quantum
+                self._credited = True
+            if cls.deficit >= 1.0:
+                item = cls.queue.pop(0)
+                self.turns += 1
+                budget = max(1, int(cls.deficit))
+                return (name, item, budget)
+            self._advance()
+            scanned += 1
+        # Every backlogged class is under one tick of credit; another
+        # scan is guaranteed to credit each at least once more.
+        return self.next_turn()
+
+    def _advance(self) -> None:
+        self._cursor = (self._cursor + 1) % max(1, len(self._order))
+        self._credited = False
+        if self._cursor == 0:
+            self.rounds += 1
+
+    def charge(self, name: str, ticks: int) -> None:
+        """Debit *ticks* actually consumed from *name*'s deficit."""
+        cls = self._classes[name]
+        cls.deficit -= max(1, ticks)
+        if not cls.queue:
+            cls.deficit = 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "turns": self.turns,
+            "rounds": self.rounds,
+            "backlog": self.backlog,
+            "classes": {
+                name: {"weight": cls.weight,
+                       "queued": len(cls.queue),
+                       "deficit": round(cls.deficit, 3)}
+                for name, cls in self._classes.items()
+            },
+        }

@@ -36,7 +36,7 @@ from ..runtime.engine import SoftwareEngine
 from ..runtime.runtime import Runtime
 from .checkpoint import DEFAULT_RING_DEPTH, Checkpoint, CheckpointRing
 from .hypervisor import Hypervisor, HypervisorClient
-from .migration import rehydrate, suspend
+from .migration import MigrationReport, rehydrate, suspend
 
 
 @dataclass
@@ -84,6 +84,7 @@ class Supervisor:
         self.software_fallback = software_fallback
         self.tenants: Dict[str, Tenant] = {}
         self.recoveries: List[RecoveryReport] = []
+        self.migrations: List[MigrationReport] = []
         self.quarantines = 0
         self._next_key = 1  #: ring keys survive engine-id reuse across hosts
         #: live vector cohorts (same-digest software tenants, §batched)
@@ -102,17 +103,27 @@ class Supervisor:
         return None
 
     def admit(self, name: str, source: str, clock: str = "clock",
-              software: bool = False) -> Tenant:
+              software: bool = False, host: Optional[Hypervisor] = None,
+              vfs=None) -> Tenant:
         """Admit a tenant: place it and take its baseline checkpoint.
 
         With *software* set the tenant is never placed on fabric: it
         runs on a software engine under the fleet's lead compiler (so
         same-digest tenants share artifacts) — the shape that cohort
         scheduling (:meth:`run_all`) advances as vector dispatches.
+        An explicit *host* pins placement to one hypervisor (the serving
+        layer's fleet balancer chooses it); *vfs* pre-loads the tenant's
+        virtual filesystem with input files.
         """
         if name in self.tenants:
             raise ValueError(f"tenant {name!r} already admitted")
-        host = None if software else self._healthy_host()
+        if software:
+            host = None
+        elif host is None:
+            host = self._healthy_host()
+        elif not host.healthy:
+            raise PersistentFabricError(
+                f"requested host {host.device.name} is quarantined")
         if host is None and not (software or self.software_fallback):
             raise PersistentFabricError("no healthy hypervisor to admit onto")
         lead = self.hypervisors[0]
@@ -121,7 +132,7 @@ class Supervisor:
         backend = (host.sim_backend if host is not None
                    else lead.sim_backend if software else None)
         runtime = Runtime(source, name=name, clock=clock, compiler=compiler,
-                          sim_backend=backend)
+                          sim_backend=backend, vfs=vfs)
         tenant = Tenant(name=name, runtime=runtime)
         tenant.key = self._next_key  # ring key, stable across re-placement
         self._next_key += 1
@@ -131,6 +142,26 @@ class Supervisor:
         self._checkpoint(tenant)  # tick-0 baseline: recovery always has one
         return tenant
 
+    def release(self, name: str) -> None:
+        """Retire a tenant: free its fabric slot and drop its checkpoints.
+
+        A quarantined (or otherwise failing) host cannot veto the
+        release — the tenant is gone from the supervisor's books either
+        way, and a dead board's slots die with the board.
+        """
+        tenant = self.tenants.pop(name, None)
+        if tenant is None:
+            return
+        if isinstance(tenant.runtime.engine, CohortLaneEngine):
+            self._extract_tenant(tenant)
+            self._prune_cohorts()
+        if tenant.client is not None and tenant.engine_id is not None:
+            try:
+                tenant.client.release(tenant.engine_id)
+            except FabricError:
+                pass
+        self.ring.drop(tenant.key)
+
     def _place(self, tenant: Tenant, host: Hypervisor) -> None:
         client = host.connect(tenant.name)
         placement = tenant.runtime.attach(client)
@@ -139,6 +170,16 @@ class Supervisor:
         tenant.engine_id = placement.engine_id
 
     # -- checkpoint discipline ---------------------------------------------------
+
+    def checkpoint(self, name: str) -> Checkpoint:
+        """Checkpoint one tenant now (must be at a quiescence point).
+
+        The serving layer calls this at preemption boundaries so a
+        sliced-out tenant always has a restore point no older than its
+        last turn.  Cohort members must have drained their banked ticks
+        first (:meth:`drain_banked`) — a lane snapshot mid-bank raises.
+        """
+        return self._checkpoint(self.tenants[name])
 
     def _checkpoint(self, tenant: Tenant) -> Checkpoint:
         runtime = tenant.runtime
@@ -173,7 +214,8 @@ class Supervisor:
 
     # -- cohort scheduling (batched backend) -----------------------------------
 
-    def form_cohorts(self, min_size: int = 2) -> int:
+    def form_cohorts(self, min_size: int = 2,
+                     names: Optional[List[str]] = None) -> int:
         """Group same-digest software tenants into vector cohorts.
 
         Formation happens at a quiescence boundary (between logical
@@ -181,11 +223,16 @@ class Supervisor:
         lane and its runtime's engine swapped for the lane engine —
         ``Runtime.tick`` then drives the whole cohort through tick
         banking.  Programs outside the vector subset (or a missing
-        NumPy) leave their group on scalar engines.  Returns the
-        number of cohorts formed.
+        NumPy) leave their group on scalar engines.  *names* restricts
+        formation to a subset of tenants (the serving layer forms
+        cohorts per priority class, so one class's lockstep schedule
+        never couples to another's).  Returns the number of cohorts
+        formed.
         """
         groups: Dict[str, List[Tenant]] = {}
-        for tenant in self.tenants.values():
+        pool = (self.tenants.values() if names is None
+                else [self.tenants[n] for n in names if n in self.tenants])
+        for tenant in pool:
             runtime = tenant.runtime
             if (runtime.backend is not None or runtime.finished
                     or runtime.engine.kind != "software"
@@ -224,6 +271,46 @@ class Supervisor:
             self._cohort_divergence += engine.divergence
             self._cohort_vector_ticks += engine.vector_ticks
         self.cohorts = []
+
+    def in_cohort(self, name: str) -> bool:
+        tenant = self.tenants.get(name)
+        return (tenant is not None
+                and isinstance(tenant.runtime.engine, CohortLaneEngine))
+
+    def extract(self, name: str) -> None:
+        """Pull one tenant out of its cohort onto a scalar engine.
+
+        Must happen at a quiescence boundary with the tenant's bank
+        drained (lockstep schedules guarantee this between turns).  A
+        cohort left with one lane is dissolved outright — a vector
+        dispatch over one lane is pure overhead.
+        """
+        tenant = self.tenants[name]
+        if not isinstance(tenant.runtime.engine, CohortLaneEngine):
+            return
+        self._extract_tenant(tenant)
+        self._prune_cohorts()
+
+    def _prune_cohorts(self) -> None:
+        """Dissolve degenerate cohorts and retire empty ones."""
+        survivors: List[CohortEngine] = []
+        for engine in self.cohorts:
+            if engine.size <= 1:
+                for tenant in list(self.tenants.values()):
+                    lane = tenant.runtime.engine
+                    if (isinstance(lane, CohortLaneEngine)
+                            and lane.engine is engine):
+                        self._extract_tenant(tenant)
+                self._cohort_divergence += engine.divergence
+                self._cohort_vector_ticks += engine.vector_ticks
+            else:
+                survivors.append(engine)
+        self.cohorts = survivors
+
+    def drain_banked(self, name: str) -> int:
+        """Settle a finished cohort member's banked ticks (see
+        :meth:`_drain_banked`); returns the number folded in."""
+        return self._drain_banked(self.tenants[name].runtime)
 
     def _extract_tenant(self, tenant: Tenant) -> None:
         """One tenant's lane → a scalar :class:`SoftwareEngine`.
@@ -315,7 +402,70 @@ class Supervisor:
         finally:
             self.dissolve_cohorts()
 
+    # -- migration (load balancing) --------------------------------------------
+
+    def migrate_tenant(self, name: str,
+                       destination: Optional[Hypervisor] = None) -> MigrationReport:
+        """Move a live tenant to *destination* (or onto software).
+
+        The serving layer's rebalancer: suspend at quiescence, release
+        the source slot (a dead source cannot veto), rebuild the runtime
+        from the suspended context with exactly-once ``$display``, and
+        re-place on the destination — digest-keyed artifacts make the
+        new placement a cache hit, so no recompilation happens here.
+        """
+        tenant = self.tenants[name]
+        if isinstance(tenant.runtime.engine, CohortLaneEngine):
+            self.extract(name)
+        old = tenant.runtime
+        source_label = (tenant.host.device.name
+                        if tenant.host is not None else "software")
+        if destination is not None and not destination.healthy:
+            raise PersistentFabricError(
+                f"migration destination {destination.device.name} is quarantined")
+        t0 = old.sim_time
+        context = suspend(old)
+        suspend_cost = old.sim_time - t0
+        if tenant.client is not None and tenant.engine_id is not None:
+            try:
+                tenant.client.release(tenant.engine_id)
+            except FabricError:
+                pass
+        compiler = (destination.compiler if destination is not None
+                    else old.compiler)
+        backend = (destination.sim_backend if destination is not None
+                   else old.sim_backend)
+        runtime = rehydrate(context, name=tenant.name, clock=old.clock,
+                            compiler=compiler, sim_backend=backend,
+                            start_time=old.sim_time)
+        reconfig = (destination.device.reconfig_seconds
+                    if destination is not None else 0.0)
+        resume_cost = runtime.costs.restore_seconds(
+            runtime.program.state.total_bits, reconfig)
+        runtime.sim_time += resume_cost
+        tenant.runtime = runtime
+        tenant.client = None
+        tenant.host = None
+        tenant.engine_id = None
+        if destination is not None:
+            self._place(tenant, destination)
+        report = MigrationReport(
+            source=source_label,
+            destination=(destination.device.name
+                         if destination is not None else "software"),
+            state_bits=runtime.program.state.total_bits,
+            suspend_seconds=suspend_cost,
+            resume_seconds=resume_cost,
+        )
+        self.migrations.append(report)
+        return report
+
     # -- recovery --------------------------------------------------------------
+
+    def recover_from(self, name: str, err: FabricError) -> None:
+        """Public recovery entry: quarantine *name*'s host and restore
+        every tenant it carried (see :meth:`_recover_from`)."""
+        self._recover_from(self.tenants[name], err)
 
     def _recover_from(self, tenant: Tenant, err: FabricError) -> None:
         """Quarantine the faulted host and restore everyone it carried."""
@@ -328,13 +478,25 @@ class Supervisor:
             self.quarantines += 1
         host.quarantine()
         victims = [t for t in self.tenants.values() if t.host is host]
-        destination = self._healthy_host(exclude=(host,))
-        if destination is None and not self.software_fallback:
-            raise PersistentFabricError(
-                "no healthy hypervisor left to restore onto"
-            ) from err
         for victim in victims:
-            self._restore(victim, destination)
+            # Recovery destinations can die too (cascading failure):
+            # quarantine each one that faults mid-restore and move on
+            # to the next healthy host, ultimately software.
+            while True:
+                destination = self._healthy_host(exclude=(host,))
+                if destination is None and not self.software_fallback:
+                    raise PersistentFabricError(
+                        "no healthy hypervisor left to restore onto"
+                    ) from err
+                try:
+                    self._restore(victim, destination)
+                    break
+                except FabricError:
+                    if destination is None:
+                        raise  # a software restore fault is not a board loss
+                    if not destination.quarantined:
+                        self.quarantines += 1
+                    destination.quarantine()
 
     def _restore(self, tenant: Tenant, destination: Optional[Hypervisor]) -> None:
         checkpoint = self.ring.latest(tenant.key)
@@ -388,6 +550,7 @@ class Supervisor:
             "healthy_hypervisors": sum(h.healthy for h in self.hypervisors),
             "quarantines": self.quarantines,
             "recoveries": len(self.recoveries),
+            "migrations": len(self.migrations),
             "checkpoints": self.ring.stats(),
             "retry": [h.retry.stats() for h in self.hypervisors],
             "cohorts": {

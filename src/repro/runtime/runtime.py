@@ -48,6 +48,22 @@ class TelemetryEvent:
     value: float = 0.0
 
 
+@dataclass
+class SliceReport:
+    """What one bounded scheduling turn actually consumed.
+
+    ``tick`` returns only the *last* engine dispatch's stats; a
+    time-slicer needs the cumulative account of its whole turn to
+    charge the tenant's deficit, so :meth:`Runtime.tick_chunk` sums as
+    it goes.
+    """
+
+    ticks: int = 0
+    seconds: float = 0.0
+    traps: int = 0
+    finished: bool = False
+
+
 class RuntimeError_(Exception):
     """Raised on runtime protocol misuse."""
 
@@ -202,6 +218,28 @@ class Runtime:
             self.trap_seconds_total += stats.trap_seconds
             self._post_tick()
         return stats
+
+    def tick_chunk(self, budget: int) -> SliceReport:
+        """Drive at most *budget* ticks; returns the cumulative account.
+
+        The serving layer's non-blocking stepping primitive: one
+        bounded synchronous chunk per scheduling turn, always returning
+        at a quiescence point (between logical ticks) so the caller can
+        suspend, checkpoint, migrate, or re-queue the tenant without
+        touching mid-tick state.  On a hardware engine the chunk still
+        runs as one on-device batch (§4.1); on a cohort lane it consumes
+        banked ticks in O(1) when the cohort's lockstep schedule has
+        already advanced this lane.
+        """
+        t0, n0, traps0 = self.sim_time, self.ticks, self.traps_total
+        if budget > 0 and not self.finished:
+            self.tick(budget)
+        return SliceReport(
+            ticks=self.ticks - n0,
+            seconds=self.sim_time - t0,
+            traps=self.traps_total - traps0,
+            finished=self.finished,
+        )
 
     def _post_tick(self) -> None:
         # Unsynthesizable control traps are handled between logical

@@ -1,0 +1,146 @@
+"""Admission control: bounded queues and slot budgets for the frontend.
+
+The hypervisor already refuses placements the fabric cannot hold
+(:class:`~repro.hypervisor.hypervisor.CapacityError`); admission
+control is the same decision one layer up and one step earlier — at
+submission time, before any compilation or placement work is spent.
+Every rejection is an :class:`AdmissionError`, which extends the
+:mod:`repro.fabric.errors` taxonomy the same way ``CapacityError``
+does: it derives from :class:`~repro.fabric.errors.FabricError` but is
+deliberately neither transient nor persistent, because rejection is a
+*policy decision*, not a fault — retrying blindly is wrong (the queue
+is full for a reason) and quarantining is absurd (nothing broke).
+Callers resubmit when load drains, or shed the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..fabric.errors import FabricError
+
+
+class AdmissionError(FabricError):
+    """A submission was refused by policy (budget, queue depth).
+
+    Like :class:`~repro.hypervisor.hypervisor.CapacityError`, this is
+    deliberately neither :class:`TransientFabricError` nor
+    :class:`PersistentFabricError` — it is an admission decision, not a
+    fault, so neither the retry loop nor quarantine-and-restore should
+    ever see it.
+    """
+
+
+class QueueFullError(AdmissionError):
+    """The bounded submission queue is at capacity (backpressure)."""
+
+
+class TenantBudgetError(AdmissionError):
+    """One principal holds its full per-tenant in-flight budget."""
+
+
+class UnknownDigestError(AdmissionError):
+    """A submit-by-digest named a program never registered here."""
+
+
+@dataclass
+class AdmissionConfig:
+    """Budgets the controller enforces."""
+
+    #: concurrently *running* jobs (scheduling slots)
+    max_running: int = 8
+    #: queued-but-not-started jobs (bounded backlog)
+    max_queue: int = 64
+    #: in-flight (queued + running) jobs per principal
+    per_tenant: int = 8
+
+
+class AdmissionController:
+    """Slot accounting for the serve frontend.
+
+    Purely synchronous bookkeeping — the asyncio frontend calls it
+    under its own single-threaded discipline.  ``check_submit`` raises
+    the typed rejection *before* any slot is taken, so a refused
+    submission leaves no residue to clean up.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config or AdmissionConfig()
+        self.queued = 0
+        self.running = 0
+        self.peak_running = 0
+        self.peak_in_flight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.cancelled = 0
+        self.released = 0
+        self._per_tenant: Dict[str, int] = {}
+
+    # -- the admission decision --------------------------------------------
+
+    def check_submit(self, principal: str) -> None:
+        """Raise a typed :class:`AdmissionError` if *principal* may not
+        submit right now; otherwise return (taking nothing yet)."""
+        if self.queued >= self.config.max_queue:
+            self.rejected += 1
+            raise QueueFullError(
+                f"submission queue is full ({self.queued}/"
+                f"{self.config.max_queue}); resubmit after load drains")
+        held = self._per_tenant.get(principal, 0)
+        if held >= self.config.per_tenant:
+            self.rejected += 1
+            raise TenantBudgetError(
+                f"tenant {principal!r} holds {held}/"
+                f"{self.config.per_tenant} in-flight slots")
+
+    # -- slot lifecycle ----------------------------------------------------
+
+    def on_enqueue(self, principal: str) -> None:
+        self.queued += 1
+        self.admitted += 1
+        self._per_tenant[principal] = self._per_tenant.get(principal, 0) + 1
+        in_flight = self.queued + self.running
+        self.peak_in_flight = max(self.peak_in_flight, in_flight)
+
+    def can_start(self) -> bool:
+        return self.running < self.config.max_running
+
+    def on_start(self) -> None:
+        self.queued -= 1
+        self.running += 1
+        self.peak_running = max(self.peak_running, self.running)
+
+    def on_release(self, principal: str) -> None:
+        """A running job retired (completed, failed, or cancelled)."""
+        self.running -= 1
+        self.released += 1
+        self._drop_holder(principal)
+
+    def on_cancel_queued(self, principal: str) -> None:
+        """A queued job was cancelled before it ever started."""
+        self.queued -= 1
+        self.cancelled += 1
+        self._drop_holder(principal)
+
+    def _drop_holder(self, principal: str) -> None:
+        held = self._per_tenant.get(principal, 0) - 1
+        if held > 0:
+            self._per_tenant[principal] = held
+        else:
+            self._per_tenant.pop(principal, None)
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "queued": self.queued,
+            "running": self.running,
+            "peak_running": self.peak_running,
+            "peak_in_flight": self.peak_in_flight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "released": self.released,
+            "tenants_in_flight": len(self._per_tenant),
+        }

@@ -1,0 +1,130 @@
+"""Tenant handles: the client's view of one submitted job.
+
+A :class:`TenantHandle` is what :meth:`ServeFrontend.submit` returns —
+a future-like object the client awaits for the final
+:class:`TenantResult`, polls for status, or async-iterates to stream
+``$display`` output as the scheduler produces it.  Handles are plain
+asyncio plumbing (one future, one line queue); all scheduling state
+lives in the frontend's job record, so a handle can be dropped without
+leaking anything but its queued lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: queue sentinel marking the end of a job's display stream
+_EOF = object()
+
+
+@dataclass
+class TenantResult:
+    """Everything a finished job leaves behind."""
+
+    name: str
+    #: "completed" (tick target reached), "finished" ($finish),
+    #: "cancelled", or "failed"
+    status: str
+    ticks: int = 0
+    sim_time: float = 0.0
+    finished: bool = False
+    finish_code: int = 0
+    #: full $display transcript, in emission order (exactly-once across
+    #: preemption, migration, and recovery)
+    display: Tuple[str, ...] = ()
+    #: architectural state (register/memory snapshot), when captured
+    state: Dict[str, object] = field(default_factory=dict)
+    #: where the job last ran ("software", a device name, or "cohort")
+    destination: str = "software"
+    recoveries: int = 0
+    migrations: int = 0
+    preemptions: int = 0
+    #: wall-clock seconds from submit to first executed tick
+    ttft_s: float = 0.0
+    #: wall-clock seconds from submit to retirement
+    latency_s: float = 0.0
+
+
+class TenantHandle:
+    """Client-side handle for one submission.
+
+    Async-iterating the handle yields ``$display`` lines as the
+    scheduler emits them and terminates when the job retires; the
+    stream may be consumed concurrently with (or after) awaiting
+    :meth:`result`.
+    """
+
+    def __init__(self, name: str, priority: str, principal: str):
+        self.name = name
+        self.priority = priority
+        self.principal = principal
+        loop = asyncio.get_running_loop()
+        self._future: asyncio.Future = loop.create_future()
+        self._lines: asyncio.Queue = asyncio.Queue()
+        self._status = "queued"
+        self._frontend = None  # set by the frontend at submit time
+
+    # -- frontend-side plumbing --------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        self._lines.put_nowait(line)
+
+    def _close_stream(self) -> None:
+        self._lines.put_nowait(_EOF)
+
+    def _retire(self, result: "TenantResult") -> None:
+        self._status = result.status
+        if not self._future.done():
+            if result.status == "cancelled":
+                self._future.cancel()
+            else:
+                self._future.set_result(result)
+        self._close_stream()
+
+    def _fail(self, err: BaseException) -> None:
+        self._status = "failed"
+        if not self._future.done():
+            self._future.set_exception(err)
+        self._close_stream()
+
+    # -- the client surface ------------------------------------------------
+
+    def status(self) -> str:
+        """Current lifecycle state: ``queued`` → ``running`` (⇄
+        ``preempted``) → ``completed``/``finished``/``cancelled``/
+        ``failed``."""
+        return self._status
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    async def result(self) -> TenantResult:
+        """Await retirement; raises :class:`asyncio.CancelledError` for
+        a cancelled job and the scheduler's exception for a failed one."""
+        return await asyncio.shield(self._future)
+
+    def cancel(self) -> bool:
+        """Request cancellation; returns False once the job retired.
+
+        A queued job is dequeued and its slots released immediately; a
+        running (or preempted) job is withdrawn at its next quiescence
+        boundary — mid-tick state is never torn down.
+        """
+        if self._future.done() or self._frontend is None:
+            return False
+        return self._frontend._cancel(self.name)
+
+    def __aiter__(self) -> "TenantHandle":
+        return self
+
+    async def __anext__(self) -> str:
+        item = await self._lines.get()
+        if item is _EOF:
+            # Re-arm the sentinel so a second iteration (or a racing
+            # consumer) also terminates instead of hanging.
+            self._lines.put_nowait(_EOF)
+            raise StopAsyncIteration
+        return item

@@ -1,0 +1,10 @@
+"""Fixtures for the serving-layer tests (stdlib-only)."""
+
+import pytest
+
+from repro.compiler.service import CompilerService
+
+
+@pytest.fixture()
+def service():
+    return CompilerService()

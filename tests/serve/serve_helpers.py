@@ -1,0 +1,50 @@
+"""Shared helpers for the serving-layer tests.
+
+Everything here is stdlib-only: the serving layer must degrade to
+scalar engines when NumPy is absent, so this module may not import it.
+Cohort-specific tests guard themselves with ``HAVE_NUMPY``.
+"""
+
+import dataclasses
+
+from repro.fabric.device import DE10
+from repro.hypervisor import Hypervisor
+from repro.serve import Fleet, FleetConfig
+
+#: seconds-scale device so software→hardware transitions happen in-test
+FAST = dataclasses.replace(DE10, compile_seconds=0.5, reconfig_seconds=0.01)
+
+#: counter app with output and a bounded life — the serve tests' tenant
+#: (the combinational mix keeps it inside the vectorizable subset, so
+#: cohort tests can form lanes from it)
+APP = """
+module app(input wire clock);
+  reg [31:0] n;
+  reg [31:0] acc;
+  wire [31:0] twist;
+  assign twist = acc ^ (n << 3);
+  initial n = 0;
+  initial acc = 1;
+  always @(posedge clock) begin
+    n <= n + 1;
+    acc <= acc + (acc << 1) + n + (twist & 32'h f);
+    if (n % 7 == 0) $display("n=%0d acc=%0d", n, acc);
+    if (n == 40) $finish;
+  end
+endmodule
+"""
+
+
+#: the same counter with no $finish — for cancellation/starvation tests
+APP_FOREVER = APP.replace("  if (n == 40) $finish;\n", "")
+
+
+def make_fleet(service, boards=2, faults=(), **config):
+    """A fleet of FAST boards sharing *service*'s artifact store."""
+    from repro.fabric import FaultPlan
+
+    hypervisors = [Hypervisor(FAST, compiler=service) for _ in range(boards)]
+    for hv, spec in zip(hypervisors, faults):
+        if spec:
+            hv.board.faults = FaultPlan(spec, seed=1)
+    return Fleet(hypervisors, FleetConfig(**config))

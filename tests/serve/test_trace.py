@@ -1,0 +1,61 @@
+"""The seeded Poisson arrival-trace generator, and a trace served e2e."""
+
+import asyncio
+
+from repro.harness.common import (
+    DEFAULT_PRIORITY_MIX, DEFAULT_SERVE_MIX, arrival_trace,
+)
+from repro.serve import ServeConfig, ServeFrontend
+
+from serve_helpers import make_fleet
+
+
+class TestTraceGenerator:
+    def test_same_seed_replays_identically(self):
+        assert arrival_trace(7, 32) == arrival_trace(7, 32)
+
+    def test_different_seeds_differ(self):
+        assert arrival_trace(7, 32) != arrival_trace(8, 32)
+
+    def test_trace_shape(self):
+        trace = arrival_trace(3, 64, rate_hz=100.0, ticks_range=(8, 48))
+        assert len(trace) == 64
+        assert all(a.at <= b.at for a, b in zip(trace, trace[1:]))
+        families = {name for name, _ in DEFAULT_SERVE_MIX}
+        priorities = {name for name, _ in DEFAULT_PRIORITY_MIX}
+        for arrival in trace:
+            family = arrival.design.split("-")[0]
+            assert family in families
+            assert arrival.priority in priorities
+            assert 8 <= arrival.ticks <= 48
+            assert arrival.source
+        # The mix's few-designs × many-instances shape: far fewer
+        # distinct designs than arrivals.
+        assert len({a.design for a in trace}) < len(trace) // 2
+
+    def test_fuzz_pool_bounds_distinct_designs(self):
+        trace = arrival_trace(5, 64, mix=(("fuzz", 1.0),), fuzz_pool=3)
+        assert {a.design for a in trace} <= {"fuzz-0", "fuzz-1", "fuzz-2"}
+
+    def test_trace_serves_end_to_end(self, service):
+        """A small trace runs through the frontend to completion."""
+        trace = arrival_trace(17, 10, mix=(("fuzz", 1.0),), fuzz_pool=2,
+                              ticks_range=(4, 12))
+        fleet = make_fleet(service, boards=2, board_capacity=2)
+        config = ServeConfig(max_running=16, quantum_ticks=8)
+
+        async def main():
+            async with ServeFrontend(fleet, config) as fe:
+                handles = [
+                    await fe.submit(a.source, ticks=a.ticks,
+                                    priority=a.priority, tenant=a.tenant,
+                                    name=a.name)
+                    for a in trace
+                ]
+                return [await h.result() for h in handles]
+
+        results = asyncio.run(main())
+        assert len(results) == 10
+        for arrival, result in zip(trace, results):
+            assert result.status in ("completed", "finished")
+            assert result.ticks <= arrival.ticks
