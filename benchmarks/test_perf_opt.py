@@ -13,6 +13,8 @@ import json
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.bench import BENCHMARKS
 from repro.compiler import CompilerService
 from repro.interp import Simulator, TaskHost, VirtualFS
@@ -29,6 +31,14 @@ RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_opt.json"
 MIN_BEST_SPEEDUP = 1.3
 
 REPS = 5
+
+
+@pytest.fixture(autouse=True)
+def always_sweep(monkeypatch):
+    """This bench measures the O0→O2 static-sweep win; pin the
+    always-sweep scheduler so event-mode fast paths don't blur it
+    (``BENCH_event.json`` covers the event side)."""
+    monkeypatch.setenv("REPRO_SIM_EVENT", "0")
 
 
 def _one_run(flat, code, ticks):

@@ -36,7 +36,8 @@ KIND_PARSE = "parse"
 KIND_SOURCE = "source"      # raw-text alias → compiled program
 KIND_PROGRAM = "program"
 KIND_OPT = "opt"            # mid-end pipeline output (OptResult)
-KIND_CODEGEN = "codegen"
+KIND_CODEGEN = "codegen"    # always-sweep scheduling (the oracle baseline)
+KIND_EVENT = "event"        # event-driven activity scheduling
 KIND_BATCH = "batch"        # vectorized cohort closures (BatchedModuleCode)
 KIND_SYNTH = "synth"
 KIND_BITSTREAM = "bitstream"
@@ -122,7 +123,8 @@ class CompilerService:
     def codegen(self, module: ast.Module, env=None,
                 digest: Optional[str] = None,
                 opt_level: Optional[int] = None,
-                keep: "frozenset[str]" = frozenset()):
+                keep: "frozenset[str]" = frozenset(),
+                event: Optional[bool] = None):
         """Shareable compiled-simulator code for *module*.
 
         *digest* must content-address the module's deterministic text;
@@ -131,21 +133,27 @@ class CompilerService:
         nothing is re-printed.  The artifact key pairs the digest with
         the mid-end pipeline fingerprint of the effective
         ``opt_level``, so differently-optimized code objects of one
-        program coexist and are shared independently.  The returned
-        :class:`~repro.interp.compile.CompiledModuleCode` is immutable
-        and shared: each engine instantiates its own state against it.
+        program coexist and are shared independently.  *event* selects
+        the scheduling strategy (default: ``REPRO_SIM_EVENT``); event-
+        scheduled code is a distinct artifact kind under the same key
+        discipline, so both schedulers of one program coexist — the
+        differential oracle compares exactly those two artifacts.  The
+        returned :class:`~repro.interp.compile.CompiledModuleCode` is
+        immutable and shared: each engine instantiates its own state
+        against it.
         """
-        from ..interp.compile import CompiledModuleCode
+        from ..interp.compile import CompiledModuleCode, resolve_sim_event
         from ..opt import pipeline_fingerprint, resolve_opt_level
 
         level = resolve_opt_level(opt_level)
+        use_event = resolve_sim_event(event)
         if digest is None:
             digest = text_digest(print_module(module))
         key = f"{digest}\x00{pipeline_fingerprint(level)}"
         return self.store.get_or_build(
-            KIND_CODEGEN, key,
+            KIND_EVENT if use_event else KIND_CODEGEN, key,
             lambda: CompiledModuleCode(
-                module, env=env,
+                module, env=env, event=use_event,
                 opt=self.optimize(module, env=env, digest=digest,
                                   opt_level=level, keep=keep)),
         )
@@ -177,8 +185,11 @@ class CompilerService:
         return self.store.get_or_build(
             KIND_BATCH, key,
             lambda: batch_code_for(
+                # The vector emitter licenses against the static sweep
+                # plan, which event scheduling displaces — batch always
+                # layers on the always-sweep artifact.
                 self.codegen(module, env=env, digest=digest,
-                             opt_level=level, keep=keep)),
+                             opt_level=level, keep=keep, event=False)),
         )
 
     # -- synthesis ---------------------------------------------------------
@@ -227,6 +238,7 @@ class CompilerService:
         return {
             "opt": self.store.peek(KIND_OPT, staged) is not None,
             "codegen": self.store.peek(KIND_CODEGEN, staged) is not None,
+            "event": self.store.peek(KIND_EVENT, staged) is not None,
             "batch": self.store.peek(KIND_BATCH, staged + "\x00batch") is not None,
         }
 

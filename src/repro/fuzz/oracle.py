@@ -43,10 +43,13 @@ from ..runtime import DirectBoardBackend, Runtime
 from ..verilog import ast_nodes as ast
 
 #: Execution paths, in comparison order; ``interp`` is the reference.
-#: The vectorized ``batched`` lane (bit-for-bit against the same
+#: ``compiled`` pins the always-sweep scheduler and ``event`` the
+#: event-driven activity scheduler, so every campaign cross-checks the
+#: two scheduling strategies bit-for-bit whatever ``REPRO_SIM_EVENT``
+#: says.  The vectorized ``batched`` lane (bit-for-bit against the same
 #: oracle, silently exercising the scalar fallback for unlicensed
 #: modules) joins the defaults whenever NumPy is importable.
-DEFAULT_PATHS = ("interp", "compiled", "board", "lifecycle")
+DEFAULT_PATHS = ("interp", "compiled", "event", "board", "lifecycle")
 if HAVE_NUMPY:
     DEFAULT_PATHS = DEFAULT_PATHS + ("batched",)
 
@@ -55,7 +58,8 @@ if HAVE_NUMPY:
 #: and the crash-recovery schedule (``python -m repro.fuzz --schedule
 #: crash``), which is opt-in because it exercises the supervisor
 #: rather than the compiler pipeline.
-ALL_PATHS = ("interp", "compiled", "board", "lifecycle", "batched", "crash")
+ALL_PATHS = ("interp", "compiled", "event", "board", "lifecycle",
+             "batched", "crash")
 
 #: Tiny co-resident tenant used to force coalescing/handshake traffic
 #: on the lifecycle path's first hypervisor.
@@ -142,14 +146,17 @@ def _result_from_host(path: str, host: TaskHost, display: Sequence[str],
 def _run_sim(program: CompiledProgram, ticks: int, backend: str,
              service: CompilerService,
              opt_level: Optional[int] = None,
-             path_name: Optional[str] = None) -> RunResult:
+             path_name: Optional[str] = None,
+             event: Optional[bool] = None) -> RunResult:
     host = TaskHost()
     code = None
     if backend in ("compiled", "batched"):
         # The batched backend licenses (or falls back) against the
-        # same shared scalar artifact the compiled backend runs.
+        # always-sweep scalar artifact (its static plan); the compiled
+        # path pins whichever scheduler *event* names.
         code = service.codegen(program.flat, env=program.env,
-                               digest=program.digest, opt_level=opt_level)
+                               digest=program.digest, opt_level=opt_level,
+                               event=False if backend == "batched" else event)
     sim = Simulator(program.flat, host, env=program.env,
                     backend=backend, code=code)
     sim.tick(cycles=ticks)
@@ -353,10 +360,14 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
                 name = f"compiled[O{level}]"
                 runs.append((name, lambda lv=level, nm=name: _run_sim(
                     program, ticks, "compiled", service,
-                    opt_level=lv, path_name=nm)))
+                    opt_level=lv, path_name=nm, event=False)))
         elif path == "compiled":
             runs.append((path, lambda: _run_sim(program, ticks, "compiled",
-                                                service)))
+                                                service, event=False)))
+        elif path == "event":
+            runs.append((path, lambda: _run_sim(program, ticks, "compiled",
+                                                service, path_name="event",
+                                                event=True)))
         elif path == "batched":
             runs.append((path, lambda: _run_sim(program, ticks, "batched",
                                                 service)))

@@ -1591,7 +1591,7 @@ class BatchedSimulator:
                  batch: Optional[BatchedModuleCode] = None):
         if code is None:
             code = batch.code if batch is not None else CompiledModuleCode(
-                module, env=env)
+                module, env=env, event=False)
         if batch is None:
             batch = batch_code_for(code)
         self.code = code
@@ -1700,8 +1700,16 @@ def batch_code_for(code: CompiledModuleCode) -> BatchedModuleCode:
         raise UnsupportedBackend(_NUMPY_HINT)
     cached = _BATCH_MEMO.get(code)
     if cached is None:
+        base = code
+        if getattr(base, "event_mode", False):
+            # Event scheduling displaces the static sweep plan the
+            # vector emitter licenses against; rebuild the sweep twin
+            # once and memoize under the caller's artifact.
+            base = CompiledModuleCode(base.module, env=base.env,
+                                      opt_level=base.opt_level,
+                                      event=False)
         try:
-            cached = BatchedModuleCode(code)
+            cached = BatchedModuleCode(base)
         except BatchUnsupported as exc:
             cached = exc
         _BATCH_MEMO[code] = cached
@@ -1722,7 +1730,9 @@ def batched_simulator(module: ast.Module, host: Optional[TaskHost] = None,
     if np is None:
         raise UnsupportedBackend(_NUMPY_HINT)
     if code is None:
-        code = CompiledModuleCode(module, env=env)
+        # The vector emitter licenses against the static sweep plan,
+        # which event scheduling displaces.
+        code = CompiledModuleCode(module, env=env, event=False)
     try:
         batch = batch_code_for(code)
     except BatchUnsupported:

@@ -56,6 +56,41 @@ def rank_order(reads: Sequence[Set[str]], writes: Sequence[Set[str]]) -> List[in
     return sorted(range(n), key=lambda i: (rank[i], i))
 
 
+def acyclic_count(reads: Sequence[Set[str]], writes: Sequence[Set[str]]) -> int:
+    """How many processes occupy the acyclic prefix of ``rank_order``.
+
+    ``rank_order`` places every Kahn-dequeued process strictly before
+    the trailing group (cycle members plus anything downstream of one,
+    which all share the synthetic trailing rank).  The count is what an
+    activity-set dispatcher needs: positions below it settle in one
+    forward pass (writes only re-mark strictly later positions), while
+    positions at or above it must iterate to fixpoint.
+    """
+    n = len(reads)
+    writers_of: Dict[str, List[int]] = {}
+    for i, names in enumerate(writes):
+        for name in names:
+            writers_of.setdefault(name, []).append(i)
+    succ: List[Set[int]] = [set() for _ in range(n)]
+    indegree = [0] * n
+    for j, names in enumerate(reads):
+        for name in names:
+            for i in writers_of.get(name, ()):
+                if i != j and j not in succ[i]:
+                    succ[i].add(j)
+                    indegree[j] += 1
+    queue = [i for i in range(n) if indegree[i] == 0]
+    head = 0
+    while head < len(queue):
+        i = queue[head]
+        head += 1
+        for j in succ[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                queue.append(j)
+    return head
+
+
 def has_cycle(reads: Sequence[Set[str]], writes: Sequence[Set[str]]) -> bool:
     """True when the read/write dependency graph contains a cycle.
 

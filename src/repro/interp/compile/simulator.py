@@ -27,6 +27,8 @@ store, keeping behaviour bit-identical by construction.
 
 from __future__ import annotations
 
+import os
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...verilog import ast_nodes as ast
@@ -42,7 +44,7 @@ from ..simulator import (
 from ...opt import optimize_module
 from ...verilog.width import WidthError
 from .exprc import CompileFallback, ExprCompiler, HELPERS, expr_is_pure
-from .scheduler import has_cycle, rank_order
+from .scheduler import acyclic_count, has_cycle, rank_order
 from .slots import SlotLayout, SlotStore
 from .stmtc import ProcessCompiler
 
@@ -50,6 +52,22 @@ from .stmtc import ProcessCompiler
 #: round costs more than selective pending-set re-evaluation, so the
 #: static combinational tick is only used for small cones.
 _STATIC_COMB_MAX = 96
+
+
+def resolve_sim_event(flag: Optional[bool] = None) -> bool:
+    """Effective event-driven-scheduling selection for an override.
+
+    Explicit argument wins; otherwise ``REPRO_SIM_EVENT`` (read per
+    call, like ``REPRO_SIM_BACKEND``, so tests can monkeypatch it);
+    otherwise on.  ``0``/``false``/``no``/``off`` disable it — the
+    always-sweep scheduler the differential oracle compares against.
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get("REPRO_SIM_EVENT", "").strip().lower()
+    if raw == "":
+        return True
+    return raw not in ("0", "false", "no", "off")
 
 
 class _Trigger:
@@ -96,7 +114,8 @@ class CompiledModuleCode:
 
     def __init__(self, module: ast.Module, env: Optional[WidthEnv] = None,
                  opt_level: Optional[int] = None,
-                 keep: "frozenset[str]" = frozenset(), opt=None):
+                 keep: "frozenset[str]" = frozenset(), opt=None,
+                 event: Optional[bool] = None):
         # The mid-end runs first: the rest of the analysis, scheduling
         # and code generation all see the *optimized* module.  At
         # level 0 this is the identity and the artifact matches the
@@ -114,6 +133,10 @@ class CompiledModuleCode:
         #: the static sweep are only attempted when granted
         self.specialize = opt.specialize
         self.fingerprint = opt.fingerprint
+        #: event-driven activity scheduling requested (resolved here so
+        #: the artifact is a deterministic function of its inputs;
+        #: ``_plan_schedule`` may still withdraw it for fifo designs)
+        self.event_requested = resolve_sim_event(event)
         self.layout = SlotLayout(self.env)
         self.processes: List[_ProcInfo] = []
         self._analyze()
@@ -126,7 +149,11 @@ class CompiledModuleCode:
 
     def _analyze(self) -> None:
         index = 0
-        for item in self.module.items:
+        #: process index -> position of its item in ``module.items``
+        #: (the mid-end's ``clock_gates`` table is keyed by item index;
+        #: ``Design.to_module`` preserves item order 1:1)
+        self._item_pos: Dict[int, int] = {}
+        for item_pos, item in enumerate(self.module.items):
             if isinstance(item, ast.ContinuousAssign):
                 reads = (collect_identifiers(item.rhs)
                          | InterpSimulator._lhs_index_deps(item.lhs))
@@ -159,6 +186,7 @@ class CompiledModuleCode:
                     writes={item.name}))
             else:
                 continue
+            self._item_pos[index] = item_pos
             index += 1
         # Rank-ordering assigns is only unobservable when their RHSes
         # are pure; an `assign x = $random` makes intra-class order
@@ -247,7 +275,50 @@ class CompiledModuleCode:
             and 0 < len(self.comb_order) <= _STATIC_COMB_MAX
             and not cyclic
         )
+        # -- event-driven activity planning -------------------------------
+        # The activity set replaces the full rank-order sweep: value
+        # changes wake exactly the reading cones (a min-heap of
+        # positions over the acyclic prefix — writes there only re-mark
+        # strictly later positions, so heap order equals the generic
+        # scheduler's forward scan) while the trailing group (cycle
+        # members, their downstream, and self-reading assigns) keeps
+        # position-ordered fixpoint iteration.  Withdrawn for fifo
+        # designs (impure assigns need the interpreter-identical scan),
+        # and it displaces the static sweep: the sweep recomputes the
+        # whole cone per change, which is exactly the cost this
+        # scheduler exists to avoid.
+        self.event_mode = self.event_requested and not self.fifo_mode
+        if self.event_mode:
+            self.static_mode = False
+        event_pos = [-1] * self.nprocs
+        for pos, pidx in enumerate(self.comb_order):
+            event_pos[pidx] = pos
+        self.event_pos: Tuple[int, ...] = tuple(event_pos)
+        prefix = 0
+        if self.event_mode and comb:
+            prefix = acyclic_count([p.reads for p in comb],
+                                   [p.writes for p in comb])
+            for pos, ci in enumerate(order[:prefix]):
+                if comb[ci].reads & comb[ci].writes:
+                    # A self-reading assign re-marks its *own* position;
+                    # the one-pass heap argument needs strictly-forward
+                    # marks, so it (and everything after it) iterates.
+                    prefix = pos
+                    break
+        self.event_acyclic = prefix
+        #: scalar slots whose nonzero value means an architectural
+        #: update is still queued between native cycles — the transform
+        #: layer's NBA shadow machinery (pending-write enables, queue
+        #: counts/cursors, the shared write-sequence stamp).  Quiescence
+        #: predicates must treat them as activity: a drained-next-tick
+        #: queue is *not* idle.
+        self.activity_slots: Tuple[int, ...] = tuple(sorted(
+            slot for name, slot in self.layout.slot_of.items()
+            if name == "__wseq"
+            or name.startswith(("__wn_", "__we_", "__wc_", "__wq"))
+        ))
         self._plan_tick_clock()
+        self._plan_gates()
 
     def _plan_tick_clock(self) -> None:
         """Identify the single free-running clock, if the design has one.
@@ -261,7 +332,8 @@ class CompiledModuleCode:
         the per-tick remnant of the dirty-bitset machinery.
         """
         self.tick_clock: Optional[str] = None
-        if not getattr(self, "static_mode", False):
+        if not (getattr(self, "static_mode", False)
+                or getattr(self, "event_mode", False)):
             return
         clock: Optional[str] = None
         for proc in self.processes:
@@ -295,6 +367,36 @@ class CompiledModuleCode:
                 return
         self.tick_clock = clock
         self.tick_clock_slot = slot
+
+    def _plan_gates(self) -> None:
+        """Map the mid-end's clock-gate table onto edge processes.
+
+        ``opt.clock_gates`` keys gated ``always @(edge)`` items by item
+        index; a gate expression is the OR of the body's top-level
+        enables, so a false gate proves the whole activation is a
+        no-op and the scheduler may drop it at dequeue time.  Gates
+        whose expression reads the planned tick clock are excluded from
+        *idle* reasoning only (``gate_reads_clock``): the idle probe
+        evaluates with the clock parked low, but a real activation sees
+        it high, so the two evaluations may disagree — dequeue-time
+        skipping stays sound either way because it reads live values.
+        """
+        self.gate_exprs: Dict[int, ast.Expr] = {}
+        reads_clock: Set[int] = set()
+        if self.event_mode:
+            table = getattr(self.opt, "clock_gates", None) or {}
+            if table:
+                for proc in self.processes:
+                    if proc.kind != "edge":
+                        continue
+                    expr = table.get(self._item_pos[proc.index])
+                    if expr is None:
+                        continue
+                    self.gate_exprs[proc.index] = expr
+                    if (self.tick_clock is not None and
+                            self.tick_clock in collect_identifiers(expr)):
+                        reads_clock.add(proc.index)
+        self.gate_reads_clock = frozenset(reads_clock)
 
     # -- code generation -------------------------------------------------------
 
@@ -351,6 +453,24 @@ class CompiledModuleCode:
                 event_sources.append(f"    return {src}")
                 event_sources.append("")
                 k += 1
+        # Clock-gate closures (event mode only): one Python-boolean
+        # predicate per gated edge process, evaluated at dequeue time
+        # — a queued process can blocking-write another's enable, so
+        # trigger-fire time would read stale values.
+        gate_ids: List[int] = []
+        for pidx in sorted(self.gate_exprs):
+            try:
+                src = ec.compile_cond(self.gate_exprs[pidx])
+            except (CompileFallback, WidthError):
+                continue
+            event_sources.append(f"def g{pidx}():")
+            event_sources.append(f"    return {src}")
+            event_sources.append("")
+            gate_ids.append(pidx)
+        self.gate_ids: Tuple[int, ...] = tuple(gate_ids)
+        #: gated processes whose skip is provable with the clock parked
+        #: low — the ones the quiescence probe may discount entirely
+        self.idle_gate_procs = frozenset(gate_ids) - self.gate_reads_clock
         self.source = "\n".join(pc.writer_defs + lines + event_sources)
         self.code = compile(self.source, "<repro-compiled>", "exec")
         self.consts: Tuple[object, ...] = tuple(ec.consts)
@@ -421,12 +541,31 @@ class CompiledSimulator(InterpSimulator):
         self._static = code.static_mode
         self._comb_in = code.comb_in
         self._need_sweep = False
+        # Event-driven activity dispatch: a min-heap of woken acyclic
+        # positions plus a count of woken trailing (fixpoint) members.
+        self._event = code.event_mode
+        self._ev_pos = code.event_pos
+        self._ev_acyclic = code.event_acyclic
+        self._ev_heap: List[int] = []
+        self._trail_count = 0
         if self._static and not self._fifo_mode:
             # Shadow the method: one call layer fewer on the hottest
             # entry point (settle runs several times per tick).
             self.settle = self._settle_static  # type: ignore[assignment]
+        elif self._event:
+            self.settle = self._settle_event  # type: ignore[assignment]
         self._instantiate()
         self._initialize()
+        self._vcd = None
+        vcd_path = os.environ.get("REPRO_VCD")
+        if vcd_path:
+            from ..vcd import claim_vcd, VCDWriter
+
+            # First engine claims the dump: N tenants of one process
+            # must not interleave writes into a single waveform file.
+            if claim_vcd():
+                self._vcd = VCDWriter(vcd_path, self.store, self.env)
+                self._vcd.sample(self.time)
 
     # -- engine instantiation ---------------------------------------------------
 
@@ -454,6 +593,8 @@ class CompiledSimulator(InterpSimulator):
         self._source = code.source  # kept for debugging/inspection
         self._fn = [namespace[f"p{i}"] for i in range(code.nprocs)]
         self._sweep = namespace.get("sweep")  # static-tick mode only
+        # Clock-gate predicates, indexed by process (None = ungated).
+        self._gates = [namespace.get(f"g{i}") for i in range(code.nprocs)]
         # Per-engine edge-detection triggers over the shared templates.
         self._events = [
             _Trigger(proc, edge, namespace[f"e{k}"])
@@ -482,6 +623,15 @@ class CompiledSimulator(InterpSimulator):
             self.store.set(name, value, notify=False)
         if self._static:
             self._need_sweep = bool(self.code.prime_comb)
+        elif self._event:
+            for index in self.code.prime_comb:
+                if not self._comb_pending[index]:
+                    self._comb_pending[index] = 1
+                    pos = self._ev_pos[index]
+                    if pos < self._ev_acyclic:
+                        heappush(self._ev_heap, pos)
+                    else:
+                        self._trail_count += 1
         else:
             for index in self.code.prime_comb:
                 if not self._comb_pending[index]:
@@ -526,6 +676,54 @@ class CompiledSimulator(InterpSimulator):
                 flags[slot] = 0
                 if comb_in[slot]:
                     self._need_sweep = True
+                for trigger in trig_watch[slot]:
+                    if trigger.edge is None:
+                        p = trigger.proc
+                        if not queued[p]:
+                            queued[p] = 1
+                            queue.append(p)
+                        continue
+                    try:
+                        new = trigger.fn()
+                    except EvalError:
+                        new = 0
+                    prev = trigger.prev
+                    edge = trigger.edge
+                    if edge == "posedge":
+                        fired = not (prev & 1) and (new & 1)
+                    elif edge == "negedge":
+                        fired = (prev & 1) and not (new & 1)
+                    else:
+                        fired = new != prev
+                    trigger.prev = new
+                    if fired:
+                        p = trigger.proc
+                        if not queued[p]:
+                            queued[p] = 1
+                            queue.append(p)
+            del dirty[:]
+            return
+        if self._event:
+            # Activity-set drain: a changed slot wakes exactly the
+            # cones reading it — acyclic positions go onto the heap,
+            # trailing members bump the fixpoint count.  Trigger
+            # handling is the generic scheduler's, verbatim.
+            evpos = self._ev_pos
+            acyc = self._ev_acyclic
+            heap = self._ev_heap
+            i = 0
+            while i < len(dirty):
+                slot = dirty[i]
+                i += 1
+                flags[slot] = 0
+                for p in comb_watch[slot]:
+                    if not pending[p]:
+                        pending[p] = 1
+                        pos = evpos[p]
+                        if pos < acyc:
+                            heappush(heap, pos)
+                        else:
+                            self._trail_count += 1
                 for trigger in trig_watch[slot]:
                     if trigger.edge is None:
                         p = trigger.proc
@@ -675,6 +873,84 @@ class CompiledSimulator(InterpSimulator):
             if dirty:
                 self._drain()
 
+    def _settle_event(self) -> None:
+        """Activity-set settle: run exactly the woken cones, in order.
+
+        The acyclic prefix of ``rank_order`` dispatches from a min-heap
+        of woken positions — popping positions in ascending order is
+        the generic scheduler's forward scan restricted to marked
+        entries, and prefix writes only ever mark strictly later
+        positions, so one monotone pass settles it.  Trailing positions
+        (cycle members and anything at or after a self-reading assign)
+        keep the generic position-ordered fixpoint iteration.  Queue
+        processes run one per outer iteration, as in every scheduler;
+        gated edge processes are skipped at dequeue time when their
+        enable is provably low (the gate table only admits bodies that
+        are no-ops under a false enable, so the skip is exact).
+        """
+        if self.store.dirty_list:
+            self._drain()
+        heap = self._ev_heap
+        order = self._comb_order
+        acyc = self._ev_acyclic
+        pending = self._comb_pending
+        funcs = self._fn
+        queue = self._proc_queue
+        queued = self._queued
+        gates = self._gates
+        runs = 0
+        limit = _MAX_SETTLE_ROUNDS * max(1, len(self._processes))
+        while heap or self._trail_count or queue:
+            while heap or self._trail_count:
+                while heap:
+                    pos = heappop(heap)
+                    p = order[pos]
+                    if not pending[p]:
+                        continue
+                    pending[p] = 0
+                    self.settle_rounds += 1
+                    runs += 1
+                    if runs > limit:
+                        raise SimulationError("evaluation did not converge "
+                                              "(combinational loop?)")
+                    funcs[p]()
+                    if self.store.dirty_list:
+                        self._drain()
+                if self._trail_count:
+                    for pos in range(acyc, len(order)):
+                        p = order[pos]
+                        if pending[p]:
+                            pending[p] = 0
+                            self._trail_count -= 1
+                            self.settle_rounds += 1
+                            runs += 1
+                            if runs > limit:
+                                raise SimulationError(
+                                    "evaluation did not converge "
+                                    "(combinational loop?)")
+                            funcs[p]()
+                            if self.store.dirty_list:
+                                self._drain()
+            if queue:
+                p = queue.pop(0)
+                queued[p] = 0
+                self.settle_rounds += 1
+                runs += 1
+                if runs > limit:
+                    raise SimulationError("evaluation did not converge "
+                                          "(combinational loop?)")
+                gate = gates[p]
+                if gate is not None:
+                    try:
+                        live = bool(gate())
+                    except Exception:
+                        live = True
+                    if not live:
+                        continue
+                funcs[p]()
+                if self.store.dirty_list:
+                    self._drain()
+
     def _settle_fifo(self) -> None:
         """Interpreter-identical settle: one queue, assigns scanned first.
 
@@ -707,6 +983,19 @@ class CompiledSimulator(InterpSimulator):
             self._drain()
 
     def tick(self, clock: str = "clock", cycles: int = 1) -> None:
+        """Drive *cycles* clock periods (VCD sampling wrapper).
+
+        Waveform dumping needs a sample per period; with no writer
+        attached this is a single delegation with zero overhead.
+        """
+        vcd = self._vcd
+        if vcd is None:
+            return self._tick(clock, cycles)
+        for _ in range(cycles):
+            self._tick(clock, 1)
+            vcd.sample(self.time)
+
+    def _tick(self, clock: str = "clock", cycles: int = 1) -> None:
         """Drive *cycles* clock periods; fully static when possible.
 
         For single-clock static designs (``tick_clock`` planned by the
@@ -718,11 +1007,16 @@ class CompiledSimulator(InterpSimulator):
         reference ``tick``/``step`` statement for statement; designs
         that fail the plan's conditions — or engines with store
         watchers attached (the debugger) — take the generic path.
+        The event scheduler reuses the same inline edge with activity
+        dispatch plus a near-zero "nothing pending" fast path.
         """
         code = self.code
         clk = code.tick_clock
-        if (clk is None or clock != clk or not self._static
-                or self.store._watchers):
+        if clk is None or clock != clk or self.store._watchers:
+            return super().tick(clock, cycles)
+        if self._event:
+            return self._tick_event(cycles)
+        if not self._static:
             return super().tick(clock, cycles)
         store = self.store
         d = store.data
@@ -776,6 +1070,157 @@ class CompiledSimulator(InterpSimulator):
                 pass
             self.time += 1
 
+    def _tick_event(self, cycles: int) -> None:
+        """Inline clock edge with activity dispatch and an idle fast path.
+
+        Identical edge application to the static tick (same trigger
+        firing decisions, same settle/update-region structure), but
+        settling runs only woken cones.  Before each period the
+        scheduler probes for quiescence: nothing pending anywhere
+        (heap, trailing count, process queue, NBA queue, dirty slots),
+        no combinational cone reads the clock, every clock trigger is a
+        gated process whose enable is provably low, and no machinified
+        NBA shadow queue holds an undrained entry.  A quiescent engine
+        advances all remaining periods in O(1) — time moves, nothing
+        executes.  Idle periods are exact: they would have run zero
+        process bodies, so skipping them is bit-identical.
+        """
+        code = self.code
+        store = self.store
+        d = store.data
+        slot = code.tick_clock_slot
+        host = self.host
+        comb_clk = self._comb_watch[slot]
+        entries = self._trig_watch[slot]
+        queue = self._proc_queue
+        queued = self._queued
+        pending = self._comb_pending
+        evpos = self._ev_pos
+        acyc = self._ev_acyclic
+        heap = self._ev_heap
+        nba = self._nba
+        settle = self._settle_event
+        i = 0
+        while i < cycles:
+            if host.finished:
+                return
+            if (not heap and not self._trail_count and not queue
+                    and not nba and not store.dirty_list and not comb_clk
+                    and all(self._trigger_idle(t) for t in entries)
+                    and self._activity_clear()):
+                self.time += cycles - i
+                return
+            try:
+                for value in (1, 0):
+                    if d[slot] != value:
+                        d[slot] = value
+                        for p in comb_clk:
+                            if not pending[p]:
+                                pending[p] = 1
+                                pos = evpos[p]
+                                if pos < acyc:
+                                    heappush(heap, pos)
+                                else:
+                                    self._trail_count += 1
+                        for trigger in entries:
+                            edge = trigger.edge
+                            if edge is None:
+                                # level sensitivity: any change fires
+                                # (drain's star path; prev untouched)
+                                fired = True
+                            else:
+                                prev = trigger.prev
+                                if edge == "posedge":
+                                    fired = not (prev & 1) and value == 1
+                                elif edge == "negedge":
+                                    fired = bool(prev & 1) and value == 0
+                                else:
+                                    fired = value != prev
+                                trigger.prev = value
+                            if fired:
+                                p = trigger.proc
+                                if not queued[p]:
+                                    queued[p] = 1
+                                    queue.append(p)
+                    settle()
+                    guard = 0
+                    while nba:
+                        guard += 1
+                        if guard > _MAX_SETTLE_ROUNDS:
+                            raise SimulationError(
+                                "update region did not converge")
+                        self._latch()
+                        settle()
+            except FinishSignal:
+                pass
+            self.time += 1
+            i += 1
+
+    def _trigger_idle(self, trigger) -> bool:
+        """True when firing *trigger* this period is a provable no-op.
+
+        Only gated edge processes whose enable expression does not read
+        the clock qualify: the probe evaluates the gate with the clock
+        at its resting level, and a clock-reading enable could flip at
+        the real activation.  A low enable licenses skipping the body —
+        the gate table only admits bodies that are no-ops under a
+        false enable.
+        """
+        p = trigger.proc
+        if p not in self.code.idle_gate_procs:
+            return False
+        gate = self._gates[p]
+        try:
+            return not gate()
+        except Exception:
+            return False
+
+    def _activity_clear(self) -> bool:
+        """True when no machinified NBA shadow queue holds activity.
+
+        Loop-carried NBAs are staged in ``__w*`` shadow slots and
+        drained by generated update logic on the *next* activation; a
+        nonzero count/valid/sequence slot between periods is a pending
+        architectural update and must veto quiescence (the bug class
+        this PR's satellite audit targets).
+        """
+        d = self.store.data
+        for s in self.code.activity_slots:
+            if d[s]:
+                return False
+        return True
+
+    def is_idle(self) -> bool:
+        """True when further ``tick()`` calls provably execute nothing.
+
+        The hypervisor uses this to fast-forward idle engines instead
+        of dispatching no-op periods.  Conservative: any condition the
+        event scheduler cannot prove quiescent returns False.
+        """
+        if self.host.finished:
+            return True
+        code = self.code
+        if not self._event or code.tick_clock is None:
+            return False
+        if self.store._watchers:
+            return False
+        if (self._ev_heap or self._trail_count or self._proc_queue
+                or self._nba or self.store.dirty_list):
+            return False
+        slot = code.tick_clock_slot
+        if self._comb_watch[slot]:
+            return False
+        for trigger in self._trig_watch[slot]:
+            if not self._trigger_idle(trigger):
+                return False
+        return self._activity_clear()
+
+    def activity(self) -> int:
+        """Count of pending scheduler events (0 does NOT imply idle)."""
+        return (len(self._ev_heap) + self._trail_count
+                + len(self._proc_queue) + len(self._nba)
+                + len(self.store.dirty_list))
+
     def _latch(self) -> None:
         """Apply queued non-blocking assignments (update region)."""
         pending = self._nba[:]
@@ -800,3 +1245,9 @@ class CompiledSimulator(InterpSimulator):
         # Re-prime edge detection so restore does not fabricate edges.
         for trigger in self._events:
             trigger.prev = self._trigger_value(trigger)
+        if self._event:
+            # Snapshots are taken at quiescence; stale activity from the
+            # pre-restore timeline must not leak into the new one.
+            del self._ev_heap[:]
+            self._trail_count = 0
+            self._comb_pending[:] = bytes(len(self._comb_pending))

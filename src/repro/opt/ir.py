@@ -330,6 +330,9 @@ class Design:
         #: Set by the two-state specialization pass: no x/z literals in
         #: data positions, licensing the specialized codegen.
         self.two_state: Optional[bool] = None
+        #: Set by the clock-gate detection pass: item index -> enable
+        #: expression proving the clocked block a no-op when false.
+        self.clock_gates: Dict[int, ast.Expr] = {}
 
     # -- structural surface ------------------------------------------------
 

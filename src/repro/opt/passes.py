@@ -555,3 +555,66 @@ def specialize_two_state(design: Design) -> int:
             scan_expr(item.init)
     design.two_state = offenders == 0
     return offenders
+
+
+def detect_clock_gates(design: Design) -> int:
+    """Tabulate enable-guarded clocked blocks for early-out dispatch.
+
+    A clocked ``always`` whose body is nothing but top-level
+    ``if (en) ... ;`` statements (no ``else`` arms) is a gated
+    register bank: when every enable is low the activation writes
+    nothing, prints nothing, and schedules nothing, so an event-driven
+    scheduler may skip the whole block.  The gate recorded per item is
+    the OR of the enables.
+
+    Legality: every enable must be pure (re-evaluating it at dispatch
+    time is unobservable), and a false gate means *no* body statement
+    runs — so no write can occur between the enable evaluations, and
+    evaluating them together at dispatch reads exactly the state each
+    would have seen in place.  Blocks with any non-``if`` top-level
+    statement, any ``else`` arm, or any impure condition are left
+    ungated — the scheduler then always runs them, which is the
+    behaviour-preserving default the differential oracle enforces.
+
+    The table lives on ``design.clock_gates`` keyed by item index
+    (``to_module`` preserves item order 1:1), and is carried on the
+    pipeline's :class:`OptResult` for the backend to consume.
+
+    Returns the number of gated blocks found.
+    """
+    design.clock_gates = {}
+    found = 0
+
+    def flat_stmts(stmt: ast.Stmt) -> List[ast.Stmt]:
+        # Block fusion nests the merged bodies; a Block of Ifs is still
+        # all-Ifs, so flatten the block structure before judging.
+        if isinstance(stmt, ast.Block):
+            out: List[ast.Stmt] = []
+            for s in stmt.stmts:
+                out.extend(flat_stmts(s))
+            return out
+        return [stmt]
+
+    for index, item in enumerate(design.items):
+        if not isinstance(item, ast.Always) or item.sensitivity == ast.STAR:
+            continue
+        stmts = flat_stmts(item.stmt)
+        if not stmts:
+            continue
+        enables: List[ast.Expr] = []
+        gated = True
+        for s in stmts:
+            if (isinstance(s, ast.If) and s.else_stmt is None
+                    and expr_pure(s.cond)):
+                enables.append(s.cond)
+            else:
+                gated = False
+                break
+        if not gated:
+            continue
+        gate = enables[0]
+        for en in enables[1:]:
+            gate = ast.Binary("||", gate, en)
+        design.clock_gates[index] = gate
+        found += 1
+    return found

@@ -48,6 +48,7 @@ _PIPELINES: Dict[int, Tuple[Tuple[str, Callable[[Design], object]], ...]] = {
         ("const", passes.propagate_constants),
         ("dce", passes.eliminate_dead),
         ("two_state", passes.specialize_two_state),
+        ("gate", passes.detect_clock_gates),
     ),
     2: (
         ("const", passes.propagate_constants),
@@ -57,6 +58,7 @@ _PIPELINES: Dict[int, Tuple[Tuple[str, Callable[[Design], object]], ...]] = {
         ("fuse", passes.fuse_always_blocks),
         ("dce", passes.eliminate_dead),
         ("two_state", passes.specialize_two_state),
+        ("gate", passes.detect_clock_gates),
     ),
 }
 
@@ -105,6 +107,9 @@ class OptResult:
     nodes_after: int = 0
     processes_before: int = 0
     processes_after: int = 0
+    #: item index -> enable expression for gated clocked blocks (the
+    #: ``gate`` pass); empty at level 0 or when nothing is gated
+    clock_gates: Dict[int, ast.Expr] = field(default_factory=dict)
 
     @property
     def specialize(self) -> bool:
@@ -148,4 +153,5 @@ def optimize_module(module: ast.Module, env: Optional[WidthEnv] = None,
         nodes_after=design.node_count(),
         processes_before=procs_before,
         processes_after=design.process_count(),
+        clock_gates=dict(design.clock_gates) if level > 0 else {},
     )

@@ -67,6 +67,14 @@ class Engine:
     def run_tick(self, clock: str) -> TickStats:
         raise NotImplementedError
 
+    def is_idle(self) -> bool:
+        """True when further ticks provably execute nothing.
+
+        Only the event-scheduled software backend can prove this;
+        everything else reports False and keeps dispatching normally.
+        """
+        return False
+
     def snapshot(self, names=None) -> Dict[str, object]:
         raise NotImplementedError
 
@@ -95,16 +103,20 @@ class SoftwareEngine(Engine):
         self.host = host
         self.backend = backend
         code = None
-        if resolve_backend(backend) in ("compiled", "batched"):
+        resolved = resolve_backend(backend)
+        if resolved in ("compiled", "batched"):
             # The artifact is keyed by (digest, pipeline fingerprint):
             # engines of one program at one optimization level share
             # one optimized code object, across instances and tenants.
             # The batched backend licenses (or falls back) against the
-            # same scalar code artifact.
+            # same scalar code artifact — which must carry the static
+            # sweep plan, so it pins the always-sweep scheduler.
             service = compiler if compiler is not None else default_service()
             code = service.codegen(program.flat, env=program.env,
                                    digest=program.digest,
-                                   opt_level=opt_level)
+                                   opt_level=opt_level,
+                                   event=False if resolved == "batched"
+                                   else None)
         # quiet_init: this engine exists only to be restored into (e.g.
         # evacuation from hardware, §3.5) — boot it against a throwaway
         # host so initial-block side effects ($display output, VFS
@@ -130,6 +142,25 @@ class SoftwareEngine(Engine):
         executed = self.sim.stmts_executed - before
         seconds = SW_SECONDS_PER_TICK + executed * SW_SECONDS_PER_STMT
         return TickStats(seconds=seconds)
+
+    def is_idle(self) -> bool:
+        probe = getattr(self.sim, "is_idle", None)
+        return bool(probe()) if probe is not None else False
+
+    def run_idle(self, clock: str, ticks: int) -> TickStats:
+        """Advance an idle engine *ticks* periods in one dispatch.
+
+        Only called after :meth:`is_idle`; the event scheduler's fast
+        path makes the whole span one near-zero call.  Accounting is
+        exact, not approximate: an idle tick costs the fixed per-tick
+        overhead plus zero statements, so the modeled seconds equal
+        what *ticks* individual ``run_tick`` calls would have charged.
+        """
+        before = self.sim.stmts_executed
+        self.sim.tick(clock, ticks)
+        executed = self.sim.stmts_executed - before
+        seconds = ticks * SW_SECONDS_PER_TICK + executed * SW_SECONDS_PER_STMT
+        return TickStats(seconds=seconds, ticks=ticks)
 
     def snapshot(self, names=None) -> Dict[str, object]:
         return self.sim.store.snapshot(names)

@@ -62,6 +62,10 @@ class SliceReport:
     seconds: float = 0.0
     traps: int = 0
     finished: bool = False
+    #: the engine proved quiescent at the end of the turn: further
+    #: ticks execute nothing, so the scheduler may fast-forward or
+    #: deprioritize this tenant instead of dispatching no-op turns
+    idle: bool = False
 
 
 class RuntimeError_(Exception):
@@ -209,6 +213,15 @@ class Runtime:
                 self.sim_time += stats.seconds
                 self.ticks += stats.ticks
                 remaining -= stats.ticks
+            elif remaining > 1 and self.engine.is_idle():
+                # Quiescent software engine: the event scheduler's fast
+                # path advances the whole span in one dispatch.  No
+                # traps are possible (nothing executes), and the exact
+                # per-tick accounting is preserved.
+                stats = self.engine.run_idle(self.clock, remaining)
+                self.sim_time += stats.seconds
+                self.ticks += stats.ticks
+                remaining -= stats.ticks
             else:
                 stats = self.engine.run_tick(self.clock)
                 self.sim_time += stats.seconds
@@ -239,7 +252,20 @@ class Runtime:
             seconds=self.sim_time - t0,
             traps=self.traps_total - traps0,
             finished=self.finished,
+            idle=self.is_idle(),
         )
+
+    def is_idle(self) -> bool:
+        """True when further ticks provably execute nothing.
+
+        Delegates to the engine (only the event-scheduled software
+        backend can prove quiescence).  A finished program is not
+        *idle* — it is done, and schedulers treat those differently
+        (retire vs fast-forward).  Note the engine's proof already
+        counts pending NBA shadow-queue entries as activity: a tenant
+        whose update queue drains next tick must not be reported idle.
+        """
+        return not self.finished and self.engine.is_idle()
 
     def _post_tick(self) -> None:
         # Unsynthesizable control traps are handled between logical

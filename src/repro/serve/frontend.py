@@ -294,7 +294,33 @@ class ServeFrontend:
             self._finish(job, "finished")
         elif job.target is not None and runtime.ticks >= job.target:
             self._finish(job, "completed")
+        elif (report.idle and job.target is not None
+                and not runtime.finished):
+            # The engine proved quiescent: every remaining tick to the
+            # target is a no-op, so retire the job now in one near-free
+            # dispatch instead of cycling it through further turns.
+            # (An until-$finish idle job has no bounded span to skip;
+            # it keeps cycling and only the idle counter notes it.)
+            self.slicer.note_idle(job)
+            try:
+                report = self.fleet.advance(job.name,
+                                            job.target - runtime.ticks)
+            except Exception as err:
+                self._fail(job, err)
+                self.slicer.charge(job, 1)
+                return
+            self._note_progress(job, report.ticks)
+            self.slicer.charge(job, 1)  # near-zero cost: nothing executed
+            runtime = self.fleet.runtime(job.name)
+            if runtime.finished:
+                self._finish(job, "finished")
+            elif runtime.ticks >= job.target:
+                self._finish(job, "completed")
+            else:
+                self._preempt(job)
         else:
+            if report.idle:
+                self.slicer.note_idle(job)
             self._preempt(job)
 
     def _preempt(self, job: _Job) -> None:

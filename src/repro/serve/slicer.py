@@ -29,6 +29,7 @@ class FairShareSlicer:
         self.priorities = dict(priorities or DEFAULT_PRIORITIES)
         self.drr = DeficitRoundRobin(quantum=quantum, classes=self.priorities)
         self.preemptions = 0
+        self.idle_skips = 0
 
     def admit(self, unit) -> None:
         """Queue *unit* (anything with a ``priority`` attribute)."""
@@ -64,7 +65,17 @@ class FairShareSlicer:
         """Debit the ticks *unit* actually consumed this turn."""
         self.drr.charge(unit.priority, ticks)
 
+    def note_idle(self, unit) -> None:
+        """Record that *unit*'s engine proved quiescent this turn.
+
+        The frontend fast-forwards such a unit to its target instead of
+        cycling it through further no-op turns; the counter makes that
+        visible in the serving stats.
+        """
+        self.idle_skips += 1
+
     def stats(self) -> Dict[str, object]:
         out = self.drr.stats()
         out["preemptions"] = self.preemptions
+        out["idle_skips"] = self.idle_skips
         return out

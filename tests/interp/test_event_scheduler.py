@@ -1,0 +1,375 @@
+"""Event-driven activity scheduling: wake-up sets, idle proof, activity.
+
+The event scheduler (``REPRO_SIM_EVENT``, default on) replaces the O2
+static sweep with per-signal sensitivity dispatch: writes wake exactly
+the combinational cones that read them, clock-gated registered blocks
+are skipped when their enables are low, and a quiescent design proves
+``is_idle()`` so the hypervisor can fast-forward it for free.  The
+always-sweep plan stays behind ``REPRO_SIM_EVENT=0`` as the oracle —
+every test here that checks values checks them against that twin or
+the tree-walking interpreter.
+"""
+
+import pytest
+
+from repro.compiler.artifacts import ArtifactStore
+from repro.compiler.service import (
+    KIND_CODEGEN, KIND_EVENT, CompilerService,
+)
+from repro.interp import Simulator, TaskHost, VirtualFS
+from repro.interp.compile import CompiledModuleCode, resolve_sim_event
+from repro.interp.compile.simulator import CompiledSimulator
+from repro.verilog import flatten, parse
+
+
+def build(text, top=None, **kwargs):
+    flat = flatten(parse(text), top or parse(text).modules[-1].name)
+    return flat
+
+
+def sim_for(text, top=None, event=None):
+    # Pinned at O2: the idle proofs need the gating pass, which the
+    # ambient REPRO_OPT_LEVEL=0 CI leg would otherwise strip.
+    flat = build(text, top)
+    code = CompiledModuleCode(flat, opt_level=2, event=event)
+    return CompiledSimulator(flat, TaskHost(VirtualFS()), code=code)
+
+
+GATED = """
+module gated(input wire clock, input wire en);
+  reg [31:0] acc = 0;
+  always @(posedge clock) begin
+    if (en) acc <= acc + 1;
+  end
+endmodule
+"""
+
+
+class TestModeSelection:
+    def test_event_on_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_EVENT", raising=False)
+        assert resolve_sim_event() is True
+        sim = sim_for(GATED)
+        assert sim.code.event_mode
+        assert not sim.code.static_mode
+
+    def test_env_zero_restores_static_sweep(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_EVENT", "0")
+        assert resolve_sim_event() is False
+        sim = sim_for(GATED)
+        assert not sim.code.event_mode
+
+    def test_explicit_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_EVENT", "0")
+        assert resolve_sim_event(True) is True
+        sim = sim_for(GATED, event=True)
+        assert sim.code.event_mode
+
+    def test_fifo_designs_withdraw_to_generic(self):
+        # An impure assign RHS forces FIFO scheduling; event dispatch
+        # must stand down rather than reorder its side effects.
+        sim = sim_for("""
+            module f(input wire clock);
+              integer fd;
+              wire [31:0] x;
+              assign x = $time;
+              reg [31:0] seen;
+              always @(posedge clock) seen <= x;
+            endmodule
+        """, event=True)
+        assert sim.code.fifo_mode
+        assert not sim.code.event_mode
+
+
+class TestIdleProof:
+    def test_quiescent_gated_tick_runs_no_process_bodies(self):
+        sim = sim_for(GATED, event=True)
+        sim.set("en", 1)
+        sim.tick(cycles=4)
+        assert sim.get("acc") == 4
+        sim.set("en", 0)
+        sim.tick(cycles=1)  # settle the enable drop
+        assert sim.is_idle()
+        before = sim.stmts_executed
+        sim.tick(cycles=1000)
+        assert sim.stmts_executed == before  # the idle fast path
+        assert sim.time >= 1000
+        assert sim.get("acc") == 4
+
+    def test_idle_revoked_when_enable_rises(self):
+        sim = sim_for(GATED, event=True)
+        sim.set("en", 0)
+        sim.tick(cycles=2)
+        assert sim.is_idle()
+        sim.set("en", 1)
+        assert not sim.is_idle()
+        sim.tick(cycles=3)
+        assert sim.get("acc") == 3
+
+    def test_ungated_clocked_block_never_idles(self):
+        sim = sim_for("""
+            module free(input wire clock);
+              reg [7:0] n = 0;
+              always @(posedge clock) n <= n + 1;
+            endmodule
+        """, event=True)
+        sim.tick(cycles=2)
+        assert not sim.is_idle()
+
+    def test_activity_counts_pending_work(self):
+        sim = sim_for(GATED, event=True)
+        assert sim.activity() == 0 or sim.activity() >= 0  # well-defined
+        sim.set("en", 1)
+        # A poked input dirties its slot until the next drain.
+        assert isinstance(sim.activity(), int)
+
+    def test_sweep_twin_matches_idle_fast_forward(self):
+        fast = sim_for(GATED, event=True)
+        slow = sim_for(GATED, event=False)
+        for s in (fast, slow):
+            s.set("en", 1)
+            s.tick(cycles=5)
+            s.set("en", 0)
+            s.tick(cycles=200)
+        assert fast.get("acc") == slow.get("acc") == 5
+        assert fast.time == slow.time
+
+
+class TestNbaShadowQueueActivity:
+    """Satellite 1: pending NBA shadow-queue entries are activity.
+
+    The machinify transform stages non-blocking writes in ``__we_*``
+    / ``__wn_*`` shadow sites drained on a later machine step, so a
+    module can be between-edges quiet while holding writes that land
+    next tick.  Quiescence detection must refuse to call that idle —
+    a tenant preempted there and fast-forwarded would drop the drain.
+    """
+
+    SHADOWED = """
+    module shadowed(input wire clock, input wire en, input wire drain);
+      reg [31:0] __wn_0 = 0;
+      reg [31:0] __wseq = 0;
+      reg [31:0] acc = 0;
+      always @(posedge clock) begin
+        if (en) begin
+          __wn_0 <= __wn_0 + 1;
+          __wseq <= __wseq + 1;
+          acc <= acc + 1;
+        end
+        if (drain) begin
+          __wn_0 <= 0;
+          __wseq <= 0;
+        end
+      end
+    endmodule
+    """
+
+    def test_shadow_slots_are_tabled_as_activity(self):
+        sim = sim_for(self.SHADOWED, event=True)
+        layout = sim.code.layout
+        assert layout.slot_of["__wn_0"] in sim.code.activity_slots
+        assert layout.slot_of["__wseq"] in sim.code.activity_slots
+        assert layout.slot_of["acc"] not in sim.code.activity_slots
+
+    def test_machinified_module_tables_real_shadow_sites(self):
+        # The genuine article: a loop NBA machinifies into __wqa/__wqd
+        # queues with an __wn count and __wc cursor; the transformed
+        # module's compiled plan must table every one of them.
+        service = CompilerService(ArtifactStore())
+        program = service.compile_program("""
+            module loopy(input wire clock);
+              reg [7:0] mem [0:3];
+              integer i;
+              always @(posedge clock) begin
+                for (i = 0; i < 4; i = i + 1) mem[i] <= i;
+              end
+            endmodule
+        """)
+        code = CompiledModuleCode(program.transform.module,
+                                  env=program.hardware_env, event=True)
+        names = {name for name, slot in code.layout.slot_of.items()
+                 if slot in code.activity_slots}
+        assert any(n.startswith("__wn_") for n in names)
+        assert any(n.startswith("__wc_") for n in names)
+        assert "__wseq" in names
+
+    def test_pending_shadow_entry_blocks_idle(self):
+        sim = sim_for(self.SHADOWED, event=True)
+        sim.set("en", 0)
+        sim.set("drain", 0)
+        sim.tick(cycles=2)
+        assert sim.is_idle()
+        sim.set("en", 1)
+        sim.tick(cycles=3)
+        sim.set("en", 0)
+        sim.tick(cycles=1)
+        # Gates are low, queues empty — but three staged writes sit in
+        # the shadow count.  This exact state used to report idle.
+        assert sim.get("__wn_0") == 3
+        assert not sim.is_idle()
+        sim.set("drain", 1)
+        sim.tick(cycles=1)
+        sim.set("drain", 0)
+        sim.tick(cycles=1)
+        assert sim.get("__wn_0") == 0
+        assert sim.is_idle()
+
+    def test_preempted_tenant_with_staged_writes_not_fast_forwarded(
+            self, monkeypatch):
+        # Runtime-level regression: a tenant sliced out while shadow
+        # writes are pending must report busy through tick_chunk so the
+        # supervisor keeps stepping it instead of warping time past the
+        # drain.  Event scheduling and O2 are pinned — the scenario
+        # under test only exists with the idle probe armed.
+        from repro.runtime.runtime import Runtime
+
+        monkeypatch.setenv("REPRO_SIM_EVENT", "1")
+        runtime = Runtime(self.SHADOWED, sim_backend="compiled",
+                          opt_level=2)
+        runtime.engine.set("en", 0)
+        runtime.engine.set("drain", 0)
+        report = runtime.tick_chunk(2)
+        assert report.idle
+        runtime.engine.set("en", 1)
+        runtime.tick_chunk(3)
+        runtime.engine.set("en", 0)
+        report = runtime.tick_chunk(1)
+        assert runtime.engine.get("__wn_0") == 3
+        assert not report.idle
+        assert not runtime.is_idle()
+        runtime.engine.set("drain", 1)
+        runtime.tick_chunk(1)
+        runtime.engine.set("drain", 0)
+        report = runtime.tick_chunk(1)
+        assert report.idle
+
+
+class TestCycleDownstreamRemarking:
+    """Satellite 3: rank_order collapses cycle members to one trailing
+    rank; a ranked process downstream of a cycle member must be
+    re-marked when the cycle settles late under activity-set dispatch.
+    """
+
+    CYC = """
+    module cyc(input wire clock, output wire [7:0] z);
+      reg en = 0;
+      reg [7:0] d = 0;
+      wire [7:0] q;
+      assign q = en ? d : q;   // self-loop: latch-shaped cycle member
+      assign z = q ^ 8'h55;    // ranked downstream of the cycle
+      always @(posedge clock) begin
+        en <= ~en;
+        d <= d + 3;
+      end
+    endmodule
+    """
+
+    def test_cycle_members_are_trailing_not_heap(self):
+        sim = sim_for(self.CYC, event=True)
+        code = sim.code
+        assert code.event_mode
+        # Both the self-looping driver and its downstream reader sit in
+        # the trailing fixpoint region; neither may enter the acyclic
+        # heap prefix, else a late cycle settle could strand the reader.
+        assert len(code.comb_order) == 2
+        assert code.event_acyclic == 0
+
+    def test_downstream_of_cycle_tracks_late_settle(self):
+        fast = sim_for(self.CYC, event=True)
+        oracle = Simulator(build(self.CYC), TaskHost(VirtualFS()),
+                           backend="interp")
+        for _ in range(12):
+            fast.tick(cycles=1)
+            oracle.tick(cycles=1)
+            assert fast.get("z") == oracle.get("z")
+            assert fast.get("q") == oracle.get("q")
+
+    def test_full_state_bit_identical_over_run(self):
+        fast = sim_for(self.CYC, event=True)
+        slow = sim_for(self.CYC, event=False)
+        fast.tick(cycles=40)
+        slow.tick(cycles=40)
+        assert fast.store.snapshot() == slow.store.snapshot()
+
+
+class TestRestoreClearsEventState:
+    def test_restore_at_quiescence_drops_stale_activity(self):
+        sim = sim_for(GATED, event=True)
+        sim.set("en", 1)
+        sim.tick(cycles=2)
+        snap = sim.save_state()
+        sim.tick(cycles=5)
+        sim.restore_state(snap)
+        assert sim.get("acc") == 2
+        assert not sim._ev_heap
+        assert sim._trail_count == 0
+        twin = sim_for(GATED, event=True)
+        twin.set("en", 1)
+        twin.tick(cycles=2)
+        sim.tick(cycles=4)
+        twin.tick(cycles=4)
+        assert sim.get("acc") == twin.get("acc") == 6
+
+
+class TestEventArtifactKind:
+    def test_event_and_sweep_cache_under_separate_kinds(self):
+        service = CompilerService(ArtifactStore())
+        program = service.compile_program(GATED)
+        ev = service.codegen(program.flat, env=program.env,
+                             digest=program.digest, event=True)
+        sw = service.codegen(program.flat, env=program.env,
+                             digest=program.digest, event=False)
+        assert ev is not sw
+        assert ev.event_mode and not sw.event_mode
+        assert service.codegen(program.flat, env=program.env,
+                               digest=program.digest, event=True) is ev
+        assert service.codegen(program.flat, env=program.env,
+                               digest=program.digest, event=False) is sw
+        warmth = service.warmth(program.digest)
+        assert warmth["event"] and warmth["codegen"]
+
+    def test_batch_layers_on_the_sweep_plan(self):
+        pytest.importorskip("numpy")
+        service = CompilerService(ArtifactStore())
+        program = service.compile_program("""
+            module counter(input wire clock);
+              reg [15:0] n;
+              wire [15:0] d;
+              assign d = n + 16'd1;
+              initial n = 0;
+              always @(posedge clock) n <= d;
+            endmodule
+        """)
+        # O2 pinned: vector licensing needs the two-state specialized
+        # static plan, which the ambient O0 CI leg would deny.
+        service.batch(program.flat, env=program.env,
+                      digest=program.digest, opt_level=2)
+        # The vector emitter licenses against the static sweep plan, so
+        # batching a cold digest fills the sweep kind, not the event
+        # one.  (Counts, not warmth(): warmth probes the ambient opt
+        # level, which CI legs vary.)
+        assert service.store.count(KIND_CODEGEN) == 1
+        assert service.store.count(KIND_EVENT) == 0
+
+
+class TestBenchWorkloadIdentity:
+    """Every bench workload, event vs sweep, bit-identical."""
+
+    @pytest.mark.parametrize("name,ticks", [
+        ("adpcm", 48), ("bitcoin", 16), ("df", 32),
+        ("mips32", 48), ("nw", 48), ("regex", 48),
+    ])
+    def test_workload_identical(self, name, ticks):
+        from repro.bench import BENCHMARKS
+        from repro.harness.common import bench_vfs
+
+        flat = flatten(parse(BENCHMARKS[name].source()), name)
+        runs = {}
+        for label, event in (("event", True), ("sweep", False)):
+            host = TaskHost(bench_vfs(name, scale=1 << 12))
+            code = CompiledModuleCode(flat, event=event)
+            sim = CompiledSimulator(flat, host, code=code)
+            sim.tick(cycles=ticks)
+            runs[label] = (sim.store.snapshot(), list(host.display_log),
+                           host.finished, sim.time)
+        assert runs["event"] == runs["sweep"]
