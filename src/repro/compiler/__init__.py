@@ -13,7 +13,8 @@ process-wide store (:func:`shared_store`).
 """
 
 from .artifacts import (
-    ArtifactStore, KindStats, resolve_store, shared_store, text_digest,
+    ArtifactStore, KindStats, default_disk_store, resolve_store,
+    shared_store, text_digest,
 )
 
 _LAZY = ("CompilerService", "default_service",
@@ -25,15 +26,22 @@ def __getattr__(name):
     # Lazy re-export: the service pulls in the verilog front end and the
     # core pipeline; loading it here eagerly would cycle with
     # repro.fabric (whose cache imports this package for the store).
+    # DiskArtifactStore is lazy for the same reason (it consults the
+    # fabric fault plan).
     if name in _LAZY:
         from . import service as _service
 
         return getattr(_service, name)
+    if name == "DiskArtifactStore":
+        from .diskstore import DiskArtifactStore
+
+        return DiskArtifactStore
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
-    "ArtifactStore", "KindStats", "resolve_store", "shared_store",
+    "ArtifactStore", "DiskArtifactStore", "KindStats",
+    "default_disk_store", "resolve_store", "shared_store",
     "text_digest",
     "CompilerService", "default_service",
     "KIND_PARSE", "KIND_SOURCE", "KIND_PROGRAM", "KIND_CODEGEN",

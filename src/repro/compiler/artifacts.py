@@ -20,6 +20,14 @@ that were not handed one explicitly from private-per-component to one
 process-wide store (:func:`shared_store`), the paper's one-compiler-
 many-instances deployment shape.  The environment variable is read per
 call so tests can flip it with ``monkeypatch``.
+
+``REPRO_ARTIFACT_DIR`` additionally mounts a durable
+:class:`~repro.compiler.diskstore.DiskArtifactStore` *under* every
+default-resolved store: ``put`` writes through to disk, a memory miss
+probes disk and promotes the hit.  The disk tier survives the process,
+so a fresh worker mounting a populated directory warm-starts instead of
+cold-compiling (the multi-process deployment ROADMAP names).  Stores
+constructed explicitly stay memory-only unless handed a ``disk=`` tier.
 """
 
 from __future__ import annotations
@@ -29,7 +37,10 @@ import os
 import time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fabric)
+    from .diskstore import DiskArtifactStore
 
 
 def text_digest(text: str) -> str:
@@ -49,6 +60,8 @@ class KindStats:
     #: build (modeled seconds for bitstreams, measured wall time for
     #: stages built through :meth:`ArtifactStore.get_or_build`).
     seconds_saved: float = 0.0
+    #: the subset of ``hits`` served by the durable disk tier
+    disk_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -61,6 +74,7 @@ class KindStats:
             self.misses + other.misses,
             self.evictions + other.evictions,
             self.seconds_saved + other.seconds_saved,
+            self.disk_hits + other.disk_hits,
         )
 
 
@@ -78,11 +92,19 @@ class ArtifactStore:
     *max_entries* bounds the total entry count across all kinds; the
     least-recently-used entry is evicted first (and counted against its
     kind's ``evictions``).  ``None`` means unbounded.
+
+    *disk* mounts a durable write-through tier
+    (:class:`~repro.compiler.diskstore.DiskArtifactStore`): ``put``
+    persists, a memory miss probes disk and promotes the hit (counted
+    as a hit plus ``disk_hits``).  Disk failures are invisible here —
+    the tier degrades to miss/skip, never raises.
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None,
+                 disk: Optional["DiskArtifactStore"] = None):
         self._entries: "OrderedDict[Tuple[str, str], _Entry]" = OrderedDict()
         self.max_entries = max_entries
+        self.disk = disk
         self._stats: Dict[str, KindStats] = {}
 
     # -- statistics --------------------------------------------------------
@@ -112,10 +134,24 @@ class ArtifactStore:
     # -- the store surface -------------------------------------------------
 
     def get(self, kind: str, key: str) -> Optional[object]:
-        """Look an artifact up; counts a hit or a miss."""
+        """Look an artifact up; counts a hit or a miss.
+
+        A memory miss falls through to the disk tier (when mounted);
+        a verifiable disk artifact is promoted into memory and counted
+        as a hit.
+        """
         entry = self._entries.get((kind, key))
         stats = self._kind_stats(kind)
         if entry is None:
+            if self.disk is not None:
+                loaded = self.disk.load(kind, key)
+                if loaded is not None:
+                    value, seconds = loaded
+                    self._insert(kind, key, value, seconds)
+                    stats.hits += 1
+                    stats.disk_hits += 1
+                    stats.seconds_saved += seconds
+                    return value
             stats.misses += 1
             return None
         stats.hits += 1
@@ -128,15 +164,32 @@ class ArtifactStore:
         entry = self._entries.get((kind, key))
         return entry.value if entry is not None else None
 
-    def put(self, kind: str, key: str, value: object,
-            seconds: float = 0.0) -> None:
-        """Insert an artifact; *seconds* is what building it cost."""
+    def contains(self, kind: str, key: str) -> bool:
+        """Stats-free presence probe across both tiers (warmth scoring).
+
+        The disk half is an existence check, not a verified load — a
+        corrupt file can answer True here and still miss on ``get``;
+        placement warmth is a heuristic, so cheap beats certain.
+        """
+        if (kind, key) in self._entries:
+            return True
+        return self.disk is not None and self.disk.contains(kind, key)
+
+    def _insert(self, kind: str, key: str, value: object,
+                seconds: float) -> None:
         self._entries[(kind, key)] = _Entry(value, seconds)
         self._entries.move_to_end((kind, key))
         if self.max_entries is not None:
             while len(self._entries) > self.max_entries:
                 (old_kind, _), _entry = self._entries.popitem(last=False)
                 self._kind_stats(old_kind).evictions += 1
+
+    def put(self, kind: str, key: str, value: object,
+            seconds: float = 0.0) -> None:
+        """Insert an artifact; *seconds* is what building it cost."""
+        self._insert(kind, key, value, seconds)
+        if self.disk is not None:
+            self.disk.store(kind, key, value, seconds)
 
     def get_or_build(self, kind: str, key: str,
                      build: Callable[[], object]) -> object:
@@ -187,16 +240,37 @@ def shared_store() -> ArtifactStore:
     return _SHARED
 
 
+def default_disk_store() -> Optional["DiskArtifactStore"]:
+    """The durable tier ``REPRO_ARTIFACT_DIR`` selects, or ``None``.
+
+    Read per call (matching ``REPRO_COMPILER_CACHE``); each resolution
+    gets its own store object, but they all address the same directory
+    — the files, not the Python objects, are the shared state.
+    """
+    path = os.environ.get("REPRO_ARTIFACT_DIR")
+    if not path:
+        return None
+    from .diskstore import DiskArtifactStore
+
+    return DiskArtifactStore(path)
+
+
 def resolve_store(store: Optional[ArtifactStore] = None) -> ArtifactStore:
     """Pick the store a component should use.
 
     An explicit *store* always wins; otherwise ``REPRO_COMPILER_CACHE``
     (truthy) selects the process-wide :func:`shared_store`, and the
     fallback is a fresh private store — component-local caching, no
-    cross-component leakage.
+    cross-component leakage.  Either default-resolved shape mounts the
+    ``REPRO_ARTIFACT_DIR`` disk tier when set, so private stores still
+    share warm artifacts durably (cross-component *and* cross-process)
+    through the filesystem.
     """
     if store is not None:
         return store
     if os.environ.get("REPRO_COMPILER_CACHE", "") not in ("", "0"):
-        return shared_store()
-    return ArtifactStore()
+        resolved = shared_store()
+        if resolved.disk is None:
+            resolved.disk = default_disk_store()
+        return resolved
+    return ArtifactStore(disk=default_disk_store())

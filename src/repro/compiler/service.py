@@ -223,23 +223,27 @@ class CompilerService:
                opt_level: Optional[int] = None) -> "Dict[str, bool]":
         """Which pipeline stages are already interned for *digest*.
 
-        A stats-free probe (:meth:`ArtifactStore.peek`) so placement
+        A stats-free probe (:meth:`ArtifactStore.contains`) so placement
         policy can ask "would this program warm-start here?" without
         polluting the hit/miss counters the experiments report.  The
         serving layer's fleet balancer scores candidate hosts by how
         deep their store's artifact chain already reaches — a host whose
         service holds the codegen (or batch) artifact starts a
-        same-digest tenant with zero rebuild.
+        same-digest tenant with zero rebuild.  The probe spans both
+        tiers: an artifact persisted to the ``REPRO_ARTIFACT_DIR`` disk
+        store (possibly by an earlier process) counts as warmth, which
+        is exactly what makes recovered placements after a restart land
+        where the artifacts already are.
         """
         from ..opt import pipeline_fingerprint, resolve_opt_level
 
         level = resolve_opt_level(opt_level)
         staged = f"{digest}\x00{pipeline_fingerprint(level)}"
         return {
-            "opt": self.store.peek(KIND_OPT, staged) is not None,
-            "codegen": self.store.peek(KIND_CODEGEN, staged) is not None,
-            "event": self.store.peek(KIND_EVENT, staged) is not None,
-            "batch": self.store.peek(KIND_BATCH, staged + "\x00batch") is not None,
+            "opt": self.store.contains(KIND_OPT, staged),
+            "codegen": self.store.contains(KIND_CODEGEN, staged),
+            "event": self.store.contains(KIND_EVENT, staged),
+            "batch": self.store.contains(KIND_BATCH, staged + "\x00batch"),
         }
 
 

@@ -23,7 +23,17 @@ message.  Fault kinds:
                     (at-least-once links; handlers must tolerate it);
 * ``board_death`` — the whole board dies; every later operation raises
                     :class:`~repro.fabric.errors.BoardDeadError` and
-                    all slot state is lost.
+                    all slot state is lost;
+* ``disk_torn``   — a durable write (artifact file, journal record,
+                    checkpoint snapshot) is cut short mid-stream, as a
+                    power loss between ``write`` and ``fsync`` would
+                    leave it;
+* ``disk_bitrot`` — one byte of a durable write is silently flipped
+                    (latent media corruption; the CRC on every frame
+                    is what detects it at read time);
+* ``disk_enospc`` — the filesystem refuses a durable write outright
+                    (``OSError``/``ENOSPC``); best-effort writers skip,
+                    write-verified writers retry.
 
 Plans are selected by a *spec* string — comma-separated
 ``kind:rate`` (per-opportunity probability) and/or ``kind@n`` (fire
@@ -48,7 +58,7 @@ from .errors import (
 
 #: Recognized fault kinds, in spec order.
 FAULT_KINDS = ("lockup", "hang", "program", "abi_drop", "abi_dup",
-               "board_death")
+               "board_death", "disk_torn", "disk_bitrot", "disk_enospc")
 
 #: Modeled stall of a wedged operation (seconds) — far past any
 #: per-operation deadline, so hangs are always *detected*, never waited
@@ -197,6 +207,37 @@ class FaultPlan:
     def duplicate_message(self) -> bool:
         """Whether to deliver the current idempotent message twice."""
         return self.fire("abi_dup")
+
+    def disk_write(self) -> Optional[str]:
+        """One durable write about to happen; how it should misbehave.
+
+        Returns ``None`` (healthy), ``"enospc"`` (the write must fail
+        with an ``OSError`` before touching the file), ``"torn"`` (the
+        write lands truncated), or ``"bitrot"`` (one byte lands
+        flipped).  Every call consumes one opportunity per disk kind,
+        so retry loops redraw deterministically — a write-verified site
+        that retries after an injected fault converges with the same
+        schedule on every replay.
+        """
+        if self.fire("disk_enospc"):
+            return "enospc"
+        if self.fire("disk_torn"):
+            return "torn"
+        if self.fire("disk_bitrot"):
+            return "bitrot"
+        return None
+
+    # -- derived deterministic streams -------------------------------------
+
+    def rng_for(self, label: str) -> random.Random:
+        """A consumer-owned RNG derived from the plan seed.
+
+        Lets subsystems that need randomness *correlated with the fault
+        plan's seed* (e.g. retry-backoff jitter) stay deterministic
+        under replay without sharing — and thus perturbing — the
+        per-kind fault streams.
+        """
+        return random.Random(f"{self.seed}:{label}")
 
 
 def default_fault_plan() -> Optional[FaultPlan]:

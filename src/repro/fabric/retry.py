@@ -9,23 +9,37 @@ single set of health statistics back (the ``stats()`` idiom).
 Backoff charges *modeled* time — it flows into the same per-channel
 ``seconds`` accounting as link latency, so resilience benchmarks see
 retries as lost throughput, exactly like real hardware would.
+
+Backoff can carry *jitter* — a ±fraction spread around the exponential
+schedule, so channels that fail together do not retry in lockstep and
+hammer the fabric in synchronized waves.  The spread is drawn from a
+caller-supplied RNG (in practice a stream forked off the fault plan's
+seed), so a replayed fault schedule reproduces the exact same backoff
+sequence: jittered, but deterministic.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import random
+from typing import Dict, Optional
 
 
 class RetryPolicy:
     """Capped exponential backoff with shared health counters."""
 
     def __init__(self, max_attempts: int = 6, base_backoff_s: float = 1e-4,
-                 max_backoff_s: float = 1e-2):
+                 max_backoff_s: float = 1e-2, jitter: float = 0.0,
+                 rng: Optional[random.Random] = None):
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
         self.max_attempts = max_attempts
         self.base_backoff_s = base_backoff_s
         self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        #: seeded stream (never the global RNG) so replays reproduce
+        self._rng = rng if rng is not None else random.Random(0)
         #: transient failures that were retried
         self.retries = 0
         #: modeled seconds spent backing off
@@ -34,9 +48,13 @@ class RetryPolicy:
         self.exhausted = 0
 
     def backoff_s(self, attempt: int) -> float:
-        """Backoff before retry *attempt* (1-based): base·2^(n-1), capped."""
-        return min(self.max_backoff_s,
+        """Backoff before retry *attempt* (1-based): base·2^(n-1),
+        capped, then spread ±``jitter`` by the seeded stream."""
+        base = min(self.max_backoff_s,
                    self.base_backoff_s * (2 ** (attempt - 1)))
+        if not self.jitter:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * self._rng.random() - 1.0))
 
     def should_retry(self, attempt: int) -> bool:
         """Whether a failed *attempt* (1-based) leaves retries budget."""

@@ -38,12 +38,17 @@ def main(argv=None) -> int:
     parser.add_argument("--paths", default=None,
                         help="comma-separated execution paths to compare "
                              "(default: the schedule's paths)")
-    parser.add_argument("--schedule", choices=("standard", "crash"),
+    parser.add_argument("--schedule", choices=("standard", "crash",
+                                               "restart"),
                         default="standard",
                         help="'standard' compares the simulation/board/"
                              "lifecycle paths; 'crash' kills the board at "
                              "a seeded quiescence point and checks that "
-                             "supervised recovery replays bit-identically")
+                             "supervised recovery replays bit-identically; "
+                             "'restart' kills the whole serving process "
+                             "mid-flight and checks that journal-driven "
+                             "recovery in a fresh process replays "
+                             "bit-identically")
     parser.add_argument("--opt-levels", default=None,
                         help="comma-separated mid-end levels to cross-check "
                              "on the compiled path (e.g. 0,2); default: the "
@@ -62,6 +67,8 @@ def main(argv=None) -> int:
         paths = tuple(p.strip() for p in args.paths.split(",") if p.strip())
     elif args.schedule == "crash":
         paths = ("interp", "crash")
+    elif args.schedule == "restart":
+        paths = ("interp", "restart")
     else:
         paths = DEFAULT_PATHS
     unknown = set(paths) - set(ALL_PATHS)

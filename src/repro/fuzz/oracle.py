@@ -54,12 +54,15 @@ if HAVE_NUMPY:
     DEFAULT_PATHS = DEFAULT_PATHS + ("batched",)
 
 #: All recognized paths: the defaults plus the batched lane (opt-in
-#: without NumPy, where selecting it raises ``UnsupportedBackend``)
-#: and the crash-recovery schedule (``python -m repro.fuzz --schedule
-#: crash``), which is opt-in because it exercises the supervisor
-#: rather than the compiler pipeline.
+#: without NumPy, where selecting it raises ``UnsupportedBackend``),
+#: the crash-recovery schedule (``python -m repro.fuzz --schedule
+#: crash``), and the restart-recovery schedule (``--schedule
+#: restart``), which kills a whole serving process mid-flight and
+#: recovers a fresh one from the durable journal.  Both are opt-in
+#: because they exercise the supervisor/serving layers rather than the
+#: compiler pipeline.
 ALL_PATHS = ("interp", "compiled", "event", "board", "lifecycle",
-             "batched", "crash")
+             "batched", "crash", "restart")
 
 #: Tiny co-resident tenant used to force coalescing/handshake traffic
 #: on the lifecycle path's first hypervisor.
@@ -295,6 +298,86 @@ def _run_crash(program: CompiledProgram, ticks: int,
                              runtime.engine.snapshot(names))
 
 
+def _run_restart(program: CompiledProgram, ticks: int,
+                 service: CompilerService, rng: random.Random) -> RunResult:
+    """Restart-recovery schedule: serve, die mid-flight, recover, finish.
+
+    Phase one serves the program through a journaled
+    :class:`~repro.serve.frontend.ServeFrontend` until roughly half the
+    tick target, then hard-cancels the scheduler task — for a
+    single-threaded cooperative process this *is* process death, which
+    can only land at a turn boundary — and drops every in-memory
+    object.  Phase two rebuilds compiler service, fleet, and frontend
+    from nothing but the same on-disk artifact directory and tenant
+    journal, replays, re-admits, and runs to completion.  The observed
+    behaviour (display trace via the exactly-once replay cursor,
+    finish status, architectural state) must be bit-identical to the
+    uninterrupted reference.
+    """
+    import asyncio
+    import tempfile
+
+    from ..compiler.artifacts import ArtifactStore
+    from ..compiler.diskstore import DiskArtifactStore
+    from ..hypervisor.durable import TenantJournal
+    from ..serve import Fleet, ServeConfig, ServeFrontend
+
+    name = "fz-restart"
+    checkpoint_every = rng.randint(2, 6)
+    quantum = rng.randint(2, 6)
+
+    def build_frontend(art: str, jnl: str) -> ServeFrontend:
+        svc = CompilerService(ArtifactStore(disk=DiskArtifactStore(art)))
+        fleet = Fleet([Hypervisor(DE10, compiler=svc),
+                       Hypervisor(F1, compiler=svc)],
+                      checkpoint_every=checkpoint_every)
+        config = ServeConfig(max_running=2, quantum_ticks=quantum,
+                             quiescence_every=64)
+        return ServeFrontend(fleet, config, journal=TenantJournal(jnl))
+
+    async def serve_with_restart(art: str, jnl: str):
+        fe = build_frontend(art, jnl)
+        handle = await fe.submit(program.source, ticks=ticks, name=name)
+        kill_at = ticks // 2
+        while not handle.done:
+            tenant = fe.fleet.supervisor.tenants.get(name)
+            if tenant is not None and tenant.runtime.ticks >= kill_at:
+                break
+            await asyncio.sleep(0)
+        if handle.done:  # outran the killer: nothing to recover
+            result = await handle.result()
+            fe.journal.close()
+            return result
+        fe._task.cancel()
+        try:
+            await fe._task
+        except asyncio.CancelledError:
+            pass
+        fe.journal.close()
+        del fe  # the process is dead; only the disk survives
+
+        fe2 = build_frontend(art, jnl)
+        handles = await fe2.recover()
+        result = await handles[name].result()
+        await fe2.close()
+        fe2.journal.close()
+        return result
+
+    with tempfile.TemporaryDirectory(prefix="repro-fz-restart-") as tmp:
+        import os
+
+        art = os.path.join(tmp, "artifacts")
+        jnl = os.path.join(tmp, "journal")
+        tenant_result = asyncio.run(serve_with_restart(art, jnl))
+    return RunResult(
+        path="restart",
+        display=tuple(tenant_result.display),
+        finished=tenant_result.finished,
+        finish_code=tenant_result.finish_code,
+        state=dict(tenant_result.state),
+    )
+
+
 # -- the oracle ------------------------------------------------------------
 
 
@@ -375,6 +458,9 @@ def check(source: Union[str, ast.Module, CompiledProgram], ticks: int,
             runs.append((path, lambda: _run_board(program, ticks, service)))
         elif path == "crash":
             runs.append((path, lambda: _run_crash(
+                program, ticks, service, random.Random(lifecycle_seed))))
+        elif path == "restart":
+            runs.append((path, lambda: _run_restart(
                 program, ticks, service, random.Random(lifecycle_seed))))
         else:
             runs.append((path, lambda: _run_lifecycle(

@@ -9,6 +9,10 @@ from .handshake import HANDSHAKE_BANDWIDTH_BITS_S, HandshakeReport, state_safe_r
 from .hypervisor import CapacityError, Hypervisor, HypervisorClient
 from .migration import MigrationReport, migrate, rehydrate, resume, suspend
 from .checkpoint import DEFAULT_RING_DEPTH, Checkpoint, CheckpointRing
+from .durable import (
+    JournalError, JournalImage, RecoveredTenant, RecoveryError,
+    TenantJournal,
+)
 from .supervisor import RecoveryReport, Supervisor, Tenant
 from .telemetry import artifact_snapshot, telemetry_snapshot
 
@@ -20,6 +24,8 @@ __all__ = [
     "CapacityError", "Hypervisor", "HypervisorClient",
     "MigrationReport", "migrate", "rehydrate", "resume", "suspend",
     "DEFAULT_RING_DEPTH", "Checkpoint", "CheckpointRing",
+    "JournalError", "JournalImage", "RecoveredTenant", "RecoveryError",
+    "TenantJournal",
     "RecoveryReport", "Supervisor", "Tenant",
     "artifact_snapshot", "telemetry_snapshot",
 ]

@@ -115,8 +115,16 @@ class Hypervisor:
         #: Engines delegated to the parent hypervisor: local id → remote id.
         self._remote: Dict[int, Tuple["Hypervisor", int]] = {}
         #: shared retry budget for supervised channels, handshake
-        #: reprogram retries, and the supervisor's health reporting
-        self.retry = RetryPolicy()
+        #: reprogram retries, and the supervisor's health reporting.
+        #: Under an active fault plan, backoff carries ±25% jitter so
+        #: co-failing channels desynchronize — seeded from the plan, so
+        #: a replayed fault schedule reproduces the same backoffs.
+        faults = self.board.faults
+        if faults is not None and faults.active:
+            self.retry = RetryPolicy(jitter=0.25,
+                                     rng=faults.rng_for("retry"))
+        else:
+            self.retry = RetryPolicy()
         #: set by :meth:`quarantine`; a quarantined hypervisor admits
         #: nothing and services nothing — its tenants have been (or are
         #: being) restored elsewhere from checkpoints

@@ -75,13 +75,18 @@ class Supervisor:
     def __init__(self, hypervisors: List[Hypervisor],
                  checkpoint_every: int = 8,
                  ring_depth: int = DEFAULT_RING_DEPTH,
-                 software_fallback: bool = True):
+                 software_fallback: bool = True,
+                 journal=None):
         if not hypervisors:
             raise ValueError("a supervisor needs at least one hypervisor")
         self.hypervisors = list(hypervisors)
         self.checkpoint_every = checkpoint_every
         self.ring = CheckpointRing(ring_depth)
         self.software_fallback = software_fallback
+        #: optional :class:`~repro.hypervisor.durable.TenantJournal`:
+        #: admissions, quiescence checkpoints, and releases are written
+        #: ahead to disk so a process restart can recover every tenant
+        self.journal = journal
         self.tenants: Dict[str, Tenant] = {}
         self.recoveries: List[RecoveryReport] = []
         self.migrations: List[MigrationReport] = []
@@ -141,7 +146,39 @@ class Supervisor:
         if host is not None:
             self._place(tenant, host)
         self.tenants[name] = tenant
+        if self.journal is not None:
+            self.journal.admit(name, digest=runtime.program.digest,
+                               source=runtime.program.source, clock=clock)
         self._checkpoint(tenant)  # tick-0 baseline: recovery always has one
+        return tenant
+
+    def admit_runtime(self, name: str, runtime: Runtime,
+                      host: Optional[Hypervisor] = None) -> Tenant:
+        """Admit an already-built runtime (the restart-recovery path).
+
+        Mirrors :meth:`admit` placement, but the runtime arrives
+        rehydrated from a durable checkpoint instead of compiled from
+        source — its display log is already seeded, its state already
+        restored.  The baseline checkpoint lands at the *recovered*
+        tick, so the board-death recovery machinery keeps working for
+        the rest of the tenant's life.
+        """
+        if name in self.tenants:
+            raise ValueError(f"tenant {name!r} already admitted")
+        if host is not None and not host.healthy:
+            raise PersistentFabricError(
+                f"requested host {host.device.name} is quarantined")
+        tenant = Tenant(name=name, runtime=runtime)
+        tenant.key = self._next_key
+        self._next_key += 1
+        if host is not None:
+            self._place(tenant, host)
+        self.tenants[name] = tenant
+        if self.journal is not None:
+            self.journal.admit(name, digest=runtime.program.digest,
+                               source=runtime.program.source,
+                               clock=runtime.clock)
+        self._checkpoint(tenant)
         return tenant
 
     def release(self, name: str) -> None:
@@ -163,6 +200,9 @@ class Supervisor:
             except FabricError:
                 pass
         self.ring.drop(tenant.key)
+        if self.journal is not None:
+            self.journal.terminal(name, "released")
+            self.journal.drop_snapshots(name)
 
     def _place(self, tenant: Tenant, host: Hypervisor) -> None:
         client = host.connect(tenant.name)
@@ -196,6 +236,8 @@ class Supervisor:
             save_seconds=runtime.sim_time - t0,
         )
         self.ring.push(checkpoint)
+        if self.journal is not None:
+            self.journal.checkpoint(tenant.name, checkpoint)
         return checkpoint
 
     # -- execution ------------------------------------------------------------

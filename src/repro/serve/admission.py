@@ -75,6 +75,7 @@ class AdmissionController:
         self.rejected = 0
         self.cancelled = 0
         self.released = 0
+        self.recovered = 0
         self._per_tenant: Dict[str, int] = {}
 
     # -- the admission decision --------------------------------------------
@@ -117,6 +118,26 @@ class AdmissionController:
         self.released += 1
         self._drop_holder(principal)
 
+    def on_recover(self, principal: str) -> None:
+        """A restart-recovered tenant was re-admitted to the fleet.
+
+        It held a running slot before the crash, so it must charge the
+        per-tenant and aggregate in-flight budgets again in this
+        process — otherwise recovered tenants run invisible to
+        admission and a principal can exceed its budget by crashing.
+        ``max_running`` is deliberately *not* re-checked: these tenants
+        were each admitted once already, and recovery must not strand
+        a checkpointed tenant behind fresh submissions.  A recovery
+        that subsequently *fails* must release this slot via
+        :meth:`on_release` (mirroring cancel), so the books balance.
+        """
+        self.running += 1
+        self.recovered += 1
+        self._per_tenant[principal] = self._per_tenant.get(principal, 0) + 1
+        self.peak_running = max(self.peak_running, self.running)
+        self.peak_in_flight = max(self.peak_in_flight,
+                                  self.queued + self.running)
+
     def on_cancel_queued(self, principal: str) -> None:
         """A queued job was cancelled before it ever started."""
         self.queued -= 1
@@ -142,5 +163,6 @@ class AdmissionController:
             "rejected": self.rejected,
             "cancelled": self.cancelled,
             "released": self.released,
+            "recovered": self.recovered,
             "tenants_in_flight": len(self._per_tenant),
         }

@@ -66,6 +66,7 @@ class Fleet:
         self.placements_sw = 0
         self.placement_fallbacks = 0
         self.rebalances = 0
+        self.readmissions = 0
 
     # -- introspection -----------------------------------------------------
 
@@ -157,6 +158,32 @@ class Fleet:
             self.placements_sw += 1
             self.placement_fallbacks += 1
             return "software"
+
+    def readmit(self, name: str, runtime: Runtime) -> str:
+        """Re-place a restart-recovered runtime; returns its destination.
+
+        The recovery analogue of :meth:`admit_job`: boards are scored
+        warmth-first — and the warmth probe spans the durable disk tier,
+        so a tenant lands where its artifacts already are and restore
+        never recompiles.  A fabric refusal degrades to software rather
+        than failing the recovery.
+        """
+        digest = runtime.program.digest
+        board = self._choose_board(digest)
+        if board is not None:
+            try:
+                self.supervisor.admit_runtime(name, runtime, host=board)
+                self.placements_hw += 1
+                self.readmissions += 1
+                return board.device.name
+            except FabricError:
+                if name in self.supervisor.tenants:
+                    self.supervisor.release(name)
+                self.placement_fallbacks += 1
+        self.supervisor.admit_runtime(name, runtime)
+        self.placements_sw += 1
+        self.readmissions += 1
+        return "software"
 
     def release(self, name: str) -> None:
         self.supervisor.release(name)
@@ -260,6 +287,7 @@ class Fleet:
             "software": self.placements_sw,
             "fallbacks": self.placement_fallbacks,
             "rebalances": self.rebalances,
+            "readmissions": self.readmissions,
             "board_loads": {f"{hv.device.name}#{i}": self.board_load(hv)
                             for i, hv in
                             enumerate(self.supervisor.hypervisors)},

@@ -27,6 +27,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..fabric.errors import FabricError
+from ..hypervisor.durable import RecoveryError, TenantJournal
+from ..hypervisor.migration import rehydrate
 from .admission import AdmissionConfig, AdmissionController, UnknownDigestError
 from .fleet import Fleet
 from .handle import TenantHandle, TenantResult
@@ -99,9 +101,17 @@ class _CohortUnit:
 class ServeFrontend:
     """Async multi-tenant serving over a hypervisor fleet."""
 
-    def __init__(self, fleet: Fleet, config: Optional[ServeConfig] = None):
+    def __init__(self, fleet: Fleet, config: Optional[ServeConfig] = None,
+                 journal: Optional[TenantJournal] = None):
         self.fleet = fleet
         self.config = config or ServeConfig()
+        #: write-ahead tenant journal; shared with the supervisor so
+        #: admissions, checkpoints, and releases land in the same log
+        self.journal = journal
+        if journal is not None:
+            self.fleet.supervisor.journal = journal
+        #: tenants recover() could not restore, by name
+        self.recovery_errors: Dict[str, RecoveryError] = {}
         self.admission = AdmissionController(self.config.admission())
         self.slicer = FairShareSlicer(quantum=self.config.quantum_ticks,
                                       priorities=self.config.priorities)
@@ -179,6 +189,12 @@ class ServeFrontend:
                    submitted_at=time.monotonic())
         self._jobs[job_name] = job
         self.admission.on_enqueue(tenant)
+        if self.journal is not None:
+            # Write-ahead of any placement work: a crash from here on
+            # leaves a journal image recovery can re-run from source.
+            self.journal.job(job_name, digest=digest, source=source,
+                             priority=priority, principal=tenant,
+                             target=ticks, clock=clock, seq=self._seq)
         heapq.heappush(self._queue, (self._ranks[priority], job))
         self._ensure_running()
         self._wake.set()
@@ -187,6 +203,112 @@ class ServeFrontend:
     def _ensure_running(self) -> None:
         if self._task is None or self._task.done():
             self._task = asyncio.get_running_loop().create_task(self._run())
+
+    # -- restart recovery --------------------------------------------------
+
+    async def recover(self, journal: Optional[TenantJournal] = None
+                      ) -> Dict[str, TenantHandle]:
+        """Replay the journal and re-admit every in-flight tenant.
+
+        The process-restart entry point: a fresh frontend over the same
+        journal directory folds the write-ahead log into per-tenant
+        images, then for each tenant the crash caught mid-lifecycle:
+
+        * **queued, never placed** — re-enqueued through the normal
+          admission path; the dispatcher re-runs it from its journaled
+          source.
+        * **running** — rehydrated from its newest *verifiable*
+          snapshot (older recorded snapshots are the fallbacks) and
+          re-placed warmth-first via :meth:`Fleet.readmit`.  The
+          snapshot's context carries the display log, so the new
+          handle streams every line exactly once — history included.
+        * **unrecoverable** — no snapshot survives verification, or
+          re-admission itself fails: the handle is failed with a typed
+          :class:`RecoveryError`, the slot charged-then-released so
+          admission books balance, and a terminal record is journaled
+          so the next replay does not resurrect it.
+
+        Returns fresh handles by tenant name (awaitable like any
+        submission's).  Idempotent per name: tenants already known to
+        this frontend are skipped.
+        """
+        journal = journal if journal is not None else self.journal
+        if journal is None:
+            raise ValueError("recover() needs a journal: pass one, or "
+                             "construct the frontend with journal=")
+        self.journal = journal
+        self.fleet.supervisor.journal = journal
+        image = journal.replay()
+        lead = self.fleet.supervisor.hypervisors[0]
+        recovered: Dict[str, TenantHandle] = {}
+        for rec in image.in_flight():
+            if rec.name in self._jobs:
+                continue
+            self._seq = max(self._seq, rec.seq)
+            priority = (rec.priority
+                        if rec.priority in self.config.priorities
+                        else "normal")
+            handle = TenantHandle(rec.name, priority, rec.principal)
+            handle._frontend = self
+            job = _Job(name=rec.name, source=rec.source, digest=rec.digest,
+                       handle=handle, priority=priority,
+                       principal=rec.principal, target=rec.target,
+                       clock=rec.clock, vfs=None, seq=rec.seq,
+                       submitted_at=time.monotonic())
+            self._jobs[rec.name] = job
+            recovered[rec.name] = handle
+            if rec.source:
+                self._programs.setdefault(rec.digest, rec.source)
+            if not rec.admitted and not rec.snapshots:
+                self.admission.on_enqueue(rec.principal)
+                heapq.heappush(self._queue, (self._ranks[priority], job))
+                continue
+            snapshot = None
+            for fname in reversed(rec.snapshots):
+                snapshot = journal.load_snapshot(fname)
+                if snapshot is not None:
+                    break
+            if snapshot is None:
+                self._recovery_failed(job, RecoveryError(
+                    f"tenant {rec.name!r} was in flight at the crash but "
+                    f"none of its {len(rec.snapshots)} recorded "
+                    f"checkpoint(s) survived verification",
+                    tenant=rec.name))
+                continue
+            try:
+                runtime = rehydrate(
+                    snapshot["context"], name=rec.name, clock=rec.clock,
+                    compiler=self.fleet.compiler,
+                    sim_backend=lead.sim_backend,
+                    start_time=float(snapshot.get("sim_time", 0.0)))
+                self.fleet.readmit(rec.name, runtime)
+            except Exception as cause:
+                err = RecoveryError(
+                    f"tenant {rec.name!r} could not be re-admitted "
+                    f"after restart: {cause}", tenant=rec.name)
+                err.__cause__ = cause
+                self._recovery_failed(job, err)
+                continue
+            self.admission.on_recover(rec.principal)
+            job.running = True
+            job.started_at = time.monotonic()
+            job.handle._status = "running"
+            self.started_order.append(rec.name)
+            self.slicer.admit(job)
+        if recovered:
+            self._ensure_running()
+            self._wake.set()
+        return recovered
+
+    def _recovery_failed(self, job: _Job, err: RecoveryError) -> None:
+        # Charge-then-release (mirroring cancel) so admission books
+        # balance: the tenant held a running slot before the crash, and
+        # a failed recovery must give that slot back, not leak it.
+        self.admission.on_recover(job.principal)
+        self.admission.on_release(job.principal)
+        self._journal_terminal(job.name, "failed")
+        self.recovery_errors[job.name] = err
+        job.handle._fail(err)
 
     # -- cancellation ------------------------------------------------------
 
@@ -256,6 +378,7 @@ class ServeFrontend:
                 # the one job, never the scheduler.
                 job.dequeued = True
                 self.admission.on_cancel_queued(job.principal)
+                self._journal_terminal(job.name, "failed")
                 job.handle._fail(err)
                 continue
             self.admission.on_start()
@@ -496,6 +619,7 @@ class ServeFrontend:
         except Exception:
             pass
         self.admission.on_release(job.principal)
+        self._journal_terminal(job.name, "failed")
         job.handle._fail(err)
 
     def _retire(self, job: _Job, status: str, released: bool = False) -> None:
@@ -505,8 +629,17 @@ class ServeFrontend:
                               ttft_s=0.0,
                               latency_s=now - job.submitted_at)
         self._results[job.name] = result
+        self._journal_terminal(job.name, status)
         job.handle._retire(result)
         del released
+
+    def _journal_terminal(self, name: str, status: str) -> None:
+        """Record a terminal status for a job the supervisor never
+        released (queued cancels, dispatch/compile failures) — the
+        supervisor's own release path writes its record itself."""
+        if self.journal is not None:
+            self.journal.terminal(name, status)
+            self.journal.drop_snapshots(name)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -568,5 +701,8 @@ class ServeFrontend:
             "jobs": len(self._jobs),
             "retired": len(self._results),
         }
+        if self.journal is not None:
+            out["journal"] = self.journal.stats()
+            out["recovery_errors"] = len(self.recovery_errors)
         out.update(self.fleet.stats())
         return out

@@ -331,3 +331,50 @@ class TestSnapshotRoundTrip:
         board_snap, other_snap = board.snapshot(1), other.snapshot(1)
         board_snap.pop("clock", None), other_snap.pop("clock", None)
         assert board_snap == other_snap
+
+
+class TestBackoffJitter:
+    def test_jitter_spreads_within_bounds(self):
+        import random
+
+        policy = RetryPolicy(base_backoff_s=1e-4, max_backoff_s=4e-4,
+                             jitter=0.25, rng=random.Random(7))
+        base = RetryPolicy(base_backoff_s=1e-4, max_backoff_s=4e-4)
+        draws = [policy.backoff_s(n) for n in range(1, 6)]
+        for n, drawn in enumerate(draws, start=1):
+            nominal = base.backoff_s(n)
+            assert 0.75 * nominal <= drawn <= 1.25 * nominal
+        # Jitter actually jitters: not every draw is the nominal value.
+        assert any(d != base.backoff_s(n)
+                   for n, d in enumerate(draws, start=1))
+
+    def test_jitter_is_deterministic_under_replay(self):
+        plan_a = FaultPlan("lockup:0.1", seed=11)
+        plan_b = FaultPlan("lockup:0.1", seed=11)
+        policy_a = RetryPolicy(jitter=0.25, rng=plan_a.rng_for("retry"))
+        policy_b = RetryPolicy(jitter=0.25, rng=plan_b.rng_for("retry"))
+        assert ([policy_a.backoff_s(n) for n in range(1, 8)]
+                == [policy_b.backoff_s(n) for n in range(1, 8)])
+        # A different seed gives a different (but still bounded) path.
+        policy_c = RetryPolicy(
+            jitter=0.25, rng=FaultPlan("lockup:0.1", seed=12).rng_for("retry"))
+        assert ([policy_a.backoff_s(n) for n in range(1, 8)]
+                != [policy_c.backoff_s(n) for n in range(1, 8)])
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_ambient_fault_plan_arms_jittered_retries(self, monkeypatch):
+        from repro.hypervisor import Hypervisor
+
+        monkeypatch.delenv("REPRO_FAULT_SPEC", raising=False)
+        calm = Hypervisor(DE10)
+        assert calm.retry.jitter == 0.0
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "abi_drop:0.01")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "3")
+        chaotic = Hypervisor(DE10)
+        assert chaotic.retry.jitter == 0.25
+        twin = Hypervisor(DE10)
+        assert ([chaotic.retry.backoff_s(n) for n in range(1, 5)]
+                == [twin.retry.backoff_s(n) for n in range(1, 5)])
